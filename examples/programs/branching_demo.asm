@@ -1,0 +1,5 @@
+; Control-flow demo: if arg1 is non-zero jump over the store to L1.
+MBR_LOAD 1
+CJUMP L1
+MBR2_LOAD 2
+L1: RETURN

@@ -1,0 +1,13 @@
+; Listing 1 — query an object cache (8-byte keys, 4-byte values).
+; arg0 = bucket address, arg1/arg2 = key words, arg3 = returned value.
+MAR_LOAD 0        // locate bucket
+MEM_READ          // first 4 bytes of the key
+MBR_EQUALS_DATA 1 // compare bytes
+CRET              // partial match?
+MEM_READ          // next 4 bytes
+MBR_EQUALS_DATA 2 // compare bytes
+CRET              // full match?
+RTS               // create reply
+MEM_READ          // read the value
+MBR_STORE 3       // write to packet
+RETURN            // fin.

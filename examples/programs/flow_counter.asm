@@ -1,0 +1,6 @@
+; Per-flow packet counter: increment this flow's slot and carry the
+; updated count back to the sender in arg1.
+MAR_LOAD 0
+MEM_INCREMENT
+MBR_STORE 1
+RETURN

@@ -1,0 +1,7 @@
+; Appendix C.1 — remotely read one memory location.
+; MAR is preloaded from arg0, so the first stage is also reachable.
+MAR_LOAD 0
+MEM_READ
+MBR_STORE 1
+RTS
+RETURN
