@@ -1,0 +1,1 @@
+bench/micro.ml: Activermt Activermt_alloc Activermt_apps Activermt_client Activermt_compiler Activermt_control Bechamel Hashtbl Option Printf Rmt Workload

@@ -1,0 +1,120 @@
+(* Bechamel micro-benchmarks for the hot paths behind the paper's
+   evaluation: mutant enumeration, admission, the data-plane interpreter,
+   the packet codec and the hash unit. *)
+
+module Mutant = Activermt_compiler.Mutant
+module Spec = Activermt_compiler.Spec
+module Allocator = Activermt_alloc.Allocator
+module App = Activermt_apps.App
+module Cache = Activermt_apps.Cache
+
+let params = Rmt.Params.default
+
+let cache_spec = App.spec Cache.service
+
+let enumerate_test policy name =
+  Bechamel.Test.make ~name
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Mutant.enumerate params policy cache_spec)))
+
+let admission_test =
+  (* Admit-and-depart against a warm allocator holding 60 caches. *)
+  let alloc = Allocator.create params in
+  for fid = 1 to 60 do
+    ignore
+      (Allocator.admit alloc
+         {
+           Allocator.fid;
+           spec = cache_spec;
+           elastic = true;
+           demand_blocks = Cache.service.App.demand_blocks;
+         })
+  done;
+  let next = ref 1000 in
+  Bechamel.Test.make ~name:"allocator.admit+depart (60 caches resident)"
+    (Bechamel.Staged.stage (fun () ->
+         let fid = !next in
+         incr next;
+         (match
+            Allocator.admit alloc
+              {
+                Allocator.fid;
+                spec = cache_spec;
+                elastic = true;
+                demand_blocks = Cache.service.App.demand_blocks;
+              }
+          with
+         | Allocator.Admitted _ -> ignore (Allocator.depart alloc ~fid)
+         | Allocator.Rejected _ -> ())))
+
+let interpreter_test =
+  let device = Rmt.Device.create params in
+  let controller = Activermt_control.Controller.create device in
+  let req = Activermt_client.Negotiate.request_packet ~fid:7 ~seq:0 Cache.service in
+  (match Activermt_control.Controller.handle_request controller req with
+  | Ok _ -> ()
+  | Error _ -> failwith "micro: cache admission failed");
+  let tables = Activermt_control.Controller.tables controller in
+  let key = Workload.Kv.key_of_rank 1 in
+  let regions =
+    Option.get (Activermt_control.Controller.regions_packet controller ~fid:7)
+  in
+  let cc =
+    match
+      ( Activermt_client.Negotiate.granted_regions regions |> fun r ->
+        Activermt_client.Cache_client.create params
+          ~policy:Mutant.Most_constrained ~fid:7 ~regions:(Option.get r) )
+    with
+    | Ok cc -> cc
+    | Error e -> failwith e
+  in
+  let meta = Activermt.Runtime.meta ~src:1 ~dst:2 () in
+  let pkt = Activermt_client.Cache_client.query_packet cc ~seq:0 key in
+  Bechamel.Test.make ~name:"runtime.run (cache query, 11 instructions)"
+    (Bechamel.Staged.stage (fun () -> ignore (Activermt.Runtime.run tables ~meta pkt)))
+
+let codec_test =
+  let pkt =
+    Activermt.Packet.exec ~fid:9 ~seq:77 ~args:[| 1; 2; 3; 4 |] Cache.query_program
+  in
+  Bechamel.Test.make ~name:"packet encode+decode (cache query)"
+    (Bechamel.Staged.stage (fun () ->
+         match Activermt.Packet.decode (Activermt.Packet.encode pkt) with
+         | Ok _ -> ()
+         | Error e -> failwith e))
+
+let crc_test =
+  Bechamel.Test.make ~name:"crc32 (2 words)"
+    (Bechamel.Staged.stage (fun () -> ignore (Rmt.Crc.crc32 [ 0xdeadbeef; 42 ])))
+
+let tests () =
+  Bechamel.Test.make_grouped ~name:"activermt"
+    [
+      enumerate_test Mutant.Most_constrained "mutants.enumerate cache/mc";
+      enumerate_test Mutant.Least_constrained "mutants.enumerate cache/lc";
+      admission_test;
+      interpreter_test;
+      codec_test;
+      crc_test;
+    ]
+
+let run () =
+  print_endline "\n== Microbenchmarks (Bechamel, ns/run) ==";
+  let instance = Bechamel.Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:2000
+      ~quota:(Bechamel.Time.second 0.5)
+      ~kde:(Some 1000) ()
+  in
+  let raw = Bechamel.Benchmark.all cfg [ instance ] (tests ()) in
+  let ols =
+    Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results = Bechamel.Analyze.all ols instance raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-48s %12.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-48s (no estimate)\n" name)
+    results

@@ -1,0 +1,266 @@
+(* activermt — command-line front end.
+
+   Subcommands:
+     asm      assemble an active program and print its bytecode + analysis
+     disasm   decode instruction bytes (hex) back to assembly
+     mutants  show the mutant space of a program under a policy
+     allocsim replay a comma-separated arrival list against the allocator
+     apps     print the bundled example services *)
+
+module Spec = Activermt_compiler.Spec
+module Mutant = Activermt_compiler.Mutant
+module Allocator = Activermt_alloc.Allocator
+module App = Activermt_apps.App
+
+let params = Rmt.Params.default
+
+let read_program path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match Activermt.Program.parse ~name:(Filename.basename path) text with
+  | Ok p -> p
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 1
+
+let hex_of_bytes b =
+  String.concat " "
+    (List.init (Bytes.length b) (fun i -> Printf.sprintf "%02x" (Bytes.get_uint8 b i)))
+
+let print_analysis program =
+  let spec = Spec.analyze program in
+  Printf.printf "instructions: %d\n" spec.Spec.length;
+  Printf.printf "memory accesses (0-based): [%s]\n"
+    (String.concat "; " (List.map string_of_int (Array.to_list spec.Spec.accesses)));
+  Printf.printf "minimum gaps: [%s]\n"
+    (String.concat "; " (List.map string_of_int (Array.to_list spec.Spec.gaps)));
+  (match spec.Spec.rts with
+  | Some r -> Printf.printf "RTS at %d (ingress-constrained)\n" r
+  | None -> print_endline "no RTS");
+  List.iter
+    (fun (policy, name) ->
+      Printf.printf "mutants (%s): %d\n" name (Mutant.count params policy spec))
+    [ (Mutant.Most_constrained, "most-constrained");
+      (Mutant.Least_constrained, "least-constrained") ]
+
+let cmd_asm path =
+  let program = read_program path in
+  print_string (Activermt.Program.to_assembly program);
+  Printf.printf "\nbytecode (%d bytes incl. EOF):\n%s\n"
+    (2 * (Activermt.Program.length program + 1))
+    (hex_of_bytes (Activermt.Wire.encode_program program));
+  print_newline ();
+  print_analysis program
+
+and cmd_disasm hex =
+  let clean =
+    String.concat "" (String.split_on_char ' ' (String.trim hex))
+  in
+  if String.length clean mod 4 <> 0 then begin
+    Printf.eprintf "error: expected pairs of 2-byte instruction headers\n";
+    exit 1
+  end;
+  let bytes = Bytes.create (String.length clean / 2) in
+  (try
+     for i = 0 to Bytes.length bytes - 1 do
+       Bytes.set_uint8 bytes i (int_of_string ("0x" ^ String.sub clean (2 * i) 2))
+     done
+   with Failure _ ->
+     Printf.eprintf "error: invalid hex\n";
+     exit 1);
+  match Activermt.Wire.decode_program bytes ~off:0 with
+  | Ok (program, _marks, _end) -> print_string (Activermt.Program.to_assembly program)
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 1
+
+and cmd_mutants path policy =
+  let program = read_program path in
+  let spec = Spec.analyze program in
+  let mutants = Mutant.enumerate params policy spec in
+  Printf.printf "%d mutants (%s)\n" (List.length mutants)
+    (Mutant.policy_to_string policy);
+  List.iteri
+    (fun i m ->
+      if i < 50 then
+        Printf.printf "  #%d stages=[%s] passes=%d%s\n" i
+          (String.concat ";" (List.map string_of_int (Array.to_list m.Mutant.stages)))
+          m.Mutant.passes
+          (if m.Mutant.port_recirc then " +port-recirc" else ""))
+    mutants;
+  if List.length mutants > 50 then print_endline "  ..."
+
+and cmd_allocsim spec_str scheme policy =
+  let alloc = Allocator.create ~scheme ~policy params in
+  let next_fid = ref 0 in
+  let service_of = function
+    | "cache" -> Some Activermt_apps.Cache.service
+    | "hh" | "heavy-hitter" -> Some Activermt_apps.Heavy_hitter.service
+    | "lb" | "load-balancer" -> Some Activermt_apps.Cheetah_lb.service
+    | "counter" | "flow-counter" -> Some Activermt_apps.Counter.service
+    | "bloom" | "bloom-filter" -> Some Activermt_apps.Bloom.service
+    | _ -> None
+  in
+  String.split_on_char ',' spec_str
+  |> List.iter (fun name ->
+         let name = String.trim name in
+         match service_of name with
+         | None -> Printf.printf "?? unknown app %S (use cache|hh|lb|counter)\n" name
+         | Some app -> (
+           incr next_fid;
+           let arrival =
+             {
+               Allocator.fid = !next_fid;
+               spec = App.spec app;
+               elastic = app.App.elastic;
+               demand_blocks = app.App.demand_blocks;
+             }
+           in
+           match Allocator.admit alloc arrival with
+           | Allocator.Admitted adm ->
+             Printf.printf "fid %d (%s): admitted; stages %s; reallocated %d apps; %.2f ms\n"
+               !next_fid name
+               (String.concat ","
+                  (List.map
+                     (fun r -> string_of_int r.Allocator.stage)
+                     adm.Allocator.regions))
+               (List.length adm.Allocator.reallocated)
+               (1000.0 *. adm.Allocator.compute_time_s)
+           | Allocator.Rejected r ->
+             Printf.printf "fid %d (%s): REJECTED after %d mutants (%.2f ms)\n"
+               !next_fid name r.Allocator.considered_mutants
+               (1000.0 *. r.Allocator.compute_time_s)));
+  Printf.printf "final utilization: %.3f\n" (Allocator.utilization alloc)
+
+and cmd_trace path args_str privileged =
+  let program = read_program path in
+  let spec = Spec.analyze program in
+  let device = Rmt.Device.create params in
+  let tables = Activermt.Table.create device in
+  (* Give the program a whole-stage region at each compact access stage. *)
+  let mutant = Mutant.identity spec in
+  let regions = Array.make params.Rmt.Params.logical_stages None in
+  Array.iter
+    (fun s ->
+      regions.(s) <-
+        Some { Activermt.Packet.start_word = 0; n_words = params.Rmt.Params.words_per_stage })
+    mutant.Mutant.stages;
+  (match Activermt.Table.install ~privileged tables ~fid:1 ~virtual_addressing:true ~regions with
+  | Ok () -> ()
+  | Error _ -> failwith "trace: table installation failed");
+  let args =
+    match args_str with
+    | None -> [||]
+    | Some s ->
+      String.split_on_char ',' s
+      |> List.map (fun x ->
+             match int_of_string_opt (String.trim x) with
+             | Some v -> v
+             | None ->
+               Printf.eprintf "error: bad argument %S\n" x;
+               exit 1)
+      |> Array.of_list
+  in
+  let pkt = Activermt.Packet.exec ~fid:1 ~seq:0 ~args program in
+  let meta = Activermt.Runtime.meta ~src:100 ~dst:200 () in
+  let r, events = Activermt.Runtime.trace tables ~meta pkt in
+  List.iter
+    (fun e -> Format.printf "%a@." Activermt.Runtime.pp_trace_event e)
+    events;
+  Printf.printf "\noutcome: %s\n"
+    (match r.Activermt.Runtime.decision with
+    | Activermt.Runtime.Forward d -> Printf.sprintf "forwarded to %d" d
+    | Activermt.Runtime.Return_to_sender -> "returned to sender"
+    | Activermt.Runtime.Dropped _ -> "dropped");
+  Printf.printf "passes: %d  pipelines: %d  RTT: %.2f us\n"
+    r.Activermt.Runtime.passes r.Activermt.Runtime.pipelines
+    (Activermt.Runtime.latency_us params r);
+  Printf.printf "args out: [%s]\n"
+    (String.concat "; "
+       (List.map string_of_int (Array.to_list r.Activermt.Runtime.args_out)))
+
+and cmd_p4gen () =
+  print_string (Activermt_p4gen.Emit.emit Activermt_p4gen.Emit.default_config)
+
+and cmd_apps () =
+  List.iter
+    (fun (app : App.t) ->
+      let spec = App.spec app in
+      Printf.printf "== %s (%s) ==\n" app.App.name
+        (if app.App.elastic then "elastic" else "inelastic");
+      Printf.printf "%s\n" (Activermt.Program.to_assembly spec.Spec.program))
+    [
+      Activermt_apps.Cache.service;
+      Activermt_apps.Heavy_hitter.service;
+      Activermt_apps.Cheetah_lb.service;
+      Activermt_apps.Counter.service;
+      Activermt_apps.Bloom.service;
+    ]
+
+open Cmdliner
+
+let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.asm")
+
+let policy_arg =
+  let pconv =
+    Arg.conv
+      ( (function
+        | "mc" | "most-constrained" -> Ok Mutant.Most_constrained
+        | "lc" | "least-constrained" -> Ok Mutant.Least_constrained
+        | s -> Error (`Msg ("unknown policy " ^ s))),
+        fun fmt p -> Format.pp_print_string fmt (Mutant.policy_to_string p) )
+  in
+  Arg.value
+    (Arg.opt pconv Mutant.Most_constrained (Arg.info [ "policy" ] ~docv:"mc|lc"))
+
+let scheme_arg =
+  let sconv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun e -> `Msg e) (Allocator.scheme_of_string s)),
+        fun fmt s -> Format.pp_print_string fmt (Allocator.scheme_to_string s) )
+  in
+  Arg.value
+    (Arg.opt sconv Allocator.Worst_fit
+       (Arg.info [ "scheme" ] ~docv:"wf|ff|bf|realloc"))
+
+let asm_cmd =
+  Cmd.v (Cmd.info "asm" ~doc:"assemble and analyze an active program")
+    Term.(const cmd_asm $ path_arg)
+
+let disasm_cmd =
+  let hex = Arg.(required & pos 0 (some string) None & info [] ~docv:"HEX") in
+  Cmd.v (Cmd.info "disasm" ~doc:"decode instruction bytes") Term.(const cmd_disasm $ hex)
+
+let mutants_cmd =
+  Cmd.v (Cmd.info "mutants" ~doc:"enumerate program mutants")
+    Term.(const cmd_mutants $ path_arg $ policy_arg)
+
+let allocsim_cmd =
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"cache,hh,lb,...") in
+  Cmd.v (Cmd.info "allocsim" ~doc:"replay arrivals against the allocator")
+    Term.(const cmd_allocsim $ spec $ scheme_arg $ policy_arg)
+
+let trace_cmd =
+  let args_arg =
+    Arg.(value & opt (some string) None & info [ "args" ] ~docv:"a0,a1,a2,a3")
+  in
+  let priv_arg = Arg.(value & flag & info [ "privileged" ]) in
+  Cmd.v (Cmd.info "trace" ~doc:"execute a program on a fresh switch with a stage-by-stage trace")
+    Term.(const cmd_trace $ path_arg $ args_arg $ priv_arg)
+
+let apps_cmd =
+  Cmd.v (Cmd.info "apps" ~doc:"print bundled example services")
+    Term.(const cmd_apps $ const ())
+
+let p4gen_cmd =
+  Cmd.v
+    (Cmd.info "p4gen"
+       ~doc:"emit the ActiveRMT shared runtime as TNA-style P4-16")
+    Term.(const cmd_p4gen $ const ())
+
+let () =
+  let info = Cmd.info "activermt" ~doc:"ActiveRMT tools (SIGCOMM 2023 reproduction)" in
+  exit (Cmd.eval (Cmd.group info
+       [ asm_cmd; disasm_cmd; mutants_cmd; allocsim_cmd; trace_cmd; apps_cmd; p4gen_cmd ]))

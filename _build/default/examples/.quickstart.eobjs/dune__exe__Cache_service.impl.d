@@ -1,0 +1,1 @@
+examples/cache_service.ml: Experiments List Printf Rmt

@@ -1,0 +1,1 @@
+examples/load_balancer.ml: Activermt Activermt_apps Activermt_client Activermt_compiler Activermt_control Array Hashtbl List Option Printf Rmt String

@@ -1,0 +1,1 @@
+examples/membership.ml: Activermt Activermt_apps Activermt_client Activermt_control Printf Rmt

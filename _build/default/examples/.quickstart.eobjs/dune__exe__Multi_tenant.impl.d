@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Experiments List Printf Rmt

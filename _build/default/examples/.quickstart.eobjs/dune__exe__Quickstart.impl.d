@@ -1,0 +1,1 @@
+examples/quickstart.ml: Activermt Activermt_apps Activermt_client Activermt_compiler Activermt_control Array Option Printf Rmt Workload

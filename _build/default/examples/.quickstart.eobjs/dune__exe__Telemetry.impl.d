@@ -1,0 +1,1 @@
+examples/telemetry.ml: Activermt Activermt_apps Activermt_client Activermt_compiler Activermt_control Array List Option Printf Rmt Stdx Workload

@@ -1,0 +1,90 @@
+(* Cheetah load balancer end to end (Appendix B.2).
+
+     dune exec examples/load_balancer.exe
+
+   Deploys the stateless load balancer as a curated (privileged) active
+   service, installs the VIP pool through data-plane memsync writes, then
+   opens flows: each SYN runs the server-selection program (round-robin
+   over the pool, cookie written back into the packet) and subsequent
+   packets run the flow-routing program, which recovers the chosen server
+   from the cookie with no switch state at all. *)
+
+module Controller = Activermt_control.Controller
+module Negotiate = Activermt_client.Negotiate
+module Lb_client = Activermt_client.Lb_client
+module Mutant = Activermt_compiler.Mutant
+
+let () =
+  let params = Rmt.Params.default in
+  let device = Rmt.Device.create params in
+  let controller = Controller.create device in
+  let fid = 2 in
+  (* The LB changes packet destinations (SET_DST), so the operator marks
+     it as a curated, privileged service (Section 7.2). *)
+  Controller.grant_privilege controller ~fid;
+  (match
+     Controller.handle_request controller
+       (Negotiate.request_packet ~fid ~seq:0 Activermt_apps.Cheetah_lb.service)
+   with
+  | Ok _ -> ()
+  | Error _ -> failwith "LB admission failed");
+  let regions =
+    Option.get
+      (Negotiate.granted_regions
+         (Option.get (Controller.regions_packet controller ~fid)))
+  in
+  let lb =
+    match
+      Lb_client.create params ~policy:Mutant.Most_constrained ~fid ~regions
+    with
+    | Ok lb -> lb
+    | Error e -> failwith e
+  in
+  Printf.printf "LB admitted; access stages: %s\n"
+    (String.concat ","
+       (List.map string_of_int (Array.to_list (Lb_client.access_stages lb))));
+
+  (* Install the VIP pool (8 backend servers on ports 501..508) with
+     data-plane memsync writes. *)
+  let tables = Controller.tables controller in
+  let ports = Array.init 8 (fun i -> 501 + i) in
+  List.iter
+    (fun (_seq, pkt) ->
+      let meta = Activermt.Runtime.meta ~src:1 ~dst:0 () in
+      match (Activermt.Runtime.run tables ~meta pkt).Activermt.Runtime.decision with
+      | Activermt.Runtime.Return_to_sender -> ()
+      | _ -> failwith "pool write lost")
+    (Lb_client.pool_write_packets lb ~ports);
+  print_endline "VIP pool installed via data-plane writes";
+
+  (* Open 16 flows: SYN -> cookie; then route 3 packets per flow and check
+     they all reach the backend the SYN selected. *)
+  let salt = 0x5A17 in
+  let counts = Hashtbl.create 8 in
+  let ok = ref 0 in
+  for flow = 1 to 16 do
+    let flow_key = [| 0xC0A80000 + flow; (flow * 7919) land 0xFFFFFFFF |] in
+    let meta = { Activermt.Runtime.src = 1; dst = 999; flow_key } in
+    let r = Activermt.Runtime.run tables ~meta (Lb_client.syn_packet lb ~seq:flow ~salt) in
+    let chosen =
+      match r.Activermt.Runtime.decision with
+      | Activermt.Runtime.Forward dst -> dst
+      | Activermt.Runtime.Return_to_sender | Activermt.Runtime.Dropped _ ->
+        failwith "SYN was not forwarded"
+    in
+    let cookie = r.Activermt.Runtime.args_out.(Activermt_apps.Cheetah_lb.arg_cookie) in
+    Hashtbl.replace counts chosen
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts chosen));
+    for _pkt = 1 to 3 do
+      let p = Lb_client.flow_packet lb ~seq:0 ~salt ~cookie in
+      match (Activermt.Runtime.run tables ~meta p).Activermt.Runtime.decision with
+      | Activermt.Runtime.Forward dst when dst = chosen -> incr ok
+      | Activermt.Runtime.Forward dst ->
+        Printf.printf "flow %d: MISROUTED to %d (wanted %d)\n" flow dst chosen
+      | Activermt.Runtime.Return_to_sender | Activermt.Runtime.Dropped _ ->
+        print_endline "flow packet lost"
+    done
+  done;
+  Printf.printf "%d/48 flow packets routed to their SYN-selected backend\n" !ok;
+  print_endline "round-robin balance across backends:";
+  Hashtbl.iter (fun port n -> Printf.printf "  port %d: %d flows\n" port n) counts

@@ -1,0 +1,89 @@
+(* Network telemetry: the frequent-item monitor (Appendix B.1).
+
+     dune exec examples/telemetry.exe
+
+   Streams 200k Zipf-popular object keys through the heavy-hitter active
+   program, then extracts the per-slot thresholds and stored keys through
+   data-plane memsync reads and compares the recovered frequent-item set
+   against the true most-popular keys. *)
+
+module Controller = Activermt_control.Controller
+module Hh_client = Activermt_client.Hh_client
+module Negotiate = Activermt_client.Negotiate
+module Mutant = Activermt_compiler.Mutant
+module Memsync = Activermt_apps.Memsync
+module Kv = Workload.Kv
+module Zipf = Workload.Zipf
+
+let () =
+  let params = Rmt.Params.default in
+  let device = Rmt.Device.create params in
+  let controller = Controller.create device in
+  let fid = 3 in
+  let request = Negotiate.request_packet ~fid ~seq:0 Activermt_apps.Heavy_hitter.service in
+  (match Controller.handle_request controller request with
+  | Ok _ -> ()
+  | Error _ -> failwith "HH admission failed");
+  let regions =
+    Option.get
+      (Negotiate.granted_regions (Option.get (Controller.regions_packet controller ~fid)))
+  in
+  let hh =
+    match Hh_client.create params ~policy:Mutant.Most_constrained ~fid ~regions with
+    | Ok h -> h
+    | Error e -> failwith e
+  in
+  Printf.printf "monitor deployed: %d threshold slots, sketch stages %d/%d\n"
+    (Hh_client.n_slots hh)
+    (Hh_client.granted hh).Activermt_client.Synthesis.mutant.Mutant.stages.(0)
+    (Hh_client.granted hh).Activermt_client.Synthesis.mutant.Mutant.stages.(1);
+
+  (* Stream the workload through the data plane. *)
+  let tables = Controller.tables controller in
+  let meta = Activermt.Runtime.meta ~src:1 ~dst:2 () in
+  let rng = Stdx.Prng.create ~seed:2024 in
+  let zipf = Zipf.create ~exponent:1.1 ~n:100_000 rng in
+  let n_requests = 200_000 in
+  for seq = 1 to n_requests do
+    let key = Kv.key_of_rank (Zipf.sample zipf) in
+    ignore (Activermt.Runtime.run tables ~meta (Hh_client.monitor_packet hh ~seq key))
+  done;
+  Printf.printf "streamed %d requests\n" n_requests;
+
+  (* Extract the monitor state with memsync reads (one packet reads the
+     threshold and both key words of a slot). *)
+  let stages =
+    [ Hh_client.threshold_stage hh; Hh_client.key0_stage hh; Hh_client.key1_stage hh ]
+  in
+  let read = Memsync.read_program ~stages in
+  let n = Hh_client.n_slots hh in
+  let thresholds = Array.make n 0 in
+  let key0s = Array.make n 0 in
+  let key1s = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let pkt =
+      Activermt.Packet.exec
+        ~flags:{ Activermt.Packet.no_flags with virtual_addressing = true }
+        ~fid ~seq:i ~args:(Memsync.read_args ~index:i) read
+    in
+    let r = Activermt.Runtime.run tables ~meta pkt in
+    thresholds.(i) <- r.Activermt.Runtime.args_out.(1);
+    key0s.(i) <- r.Activermt.Runtime.args_out.(2);
+    key1s.(i) <- r.Activermt.Runtime.args_out.(3)
+  done;
+
+  let items = Hh_client.frequent_items ~thresholds ~key0s ~key1s in
+  Printf.printf "recovered %d frequent items; top 10 by sketched count:\n"
+    (List.length items);
+  List.iteri
+    (fun i ((key : Kv.key), count) ->
+      if i < 10 then
+        match Kv.rank_of_key key with
+        | Some rank -> Printf.printf "  true rank %5d  sketched count %d\n" rank count
+        | None -> Printf.printf "  (collided key)  sketched count %d\n" count)
+    items;
+  let top_ranks =
+    List.filter_map (fun (k, _) -> Kv.rank_of_key k) items
+    |> List.filter (fun r -> r < 100)
+  in
+  Printf.printf "coverage of the true top-100: %d/100\n" (List.length top_ranks)

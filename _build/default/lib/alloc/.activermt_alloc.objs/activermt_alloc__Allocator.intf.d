@@ -1,0 +1,1 @@
+lib/alloc/allocator.mli: Activermt Import Mutant Pool Rmt Spec

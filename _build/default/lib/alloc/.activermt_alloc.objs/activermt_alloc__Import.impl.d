@@ -1,0 +1,1 @@
+lib/alloc/import.ml: Activermt_compiler

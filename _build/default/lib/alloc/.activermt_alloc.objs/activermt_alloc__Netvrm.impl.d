@@ -1,0 +1,1 @@
+lib/alloc/netvrm.ml: Hashtbl List Rmt

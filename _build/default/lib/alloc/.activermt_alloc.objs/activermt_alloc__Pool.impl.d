@@ -1,0 +1,1 @@
+lib/alloc/pool.ml: Array List Printf

@@ -1,0 +1,323 @@
+open Import
+
+type scheme = Worst_fit | Best_fit | First_fit | Min_realloc
+
+let scheme_to_string = function
+  | Worst_fit -> "worst-fit"
+  | Best_fit -> "best-fit"
+  | First_fit -> "first-fit"
+  | Min_realloc -> "min-realloc"
+
+let scheme_of_string = function
+  | "worst-fit" | "wf" -> Ok Worst_fit
+  | "best-fit" | "bf" -> Ok Best_fit
+  | "first-fit" | "ff" -> Ok First_fit
+  | "min-realloc" | "realloc" -> Ok Min_realloc
+  | s -> Error (Printf.sprintf "unknown allocation scheme %S" s)
+
+type arrival = {
+  fid : int;
+  spec : Spec.t;
+  elastic : bool;
+  demand_blocks : int array;
+}
+
+type stage_range = { stage : int; range : Pool.range }
+
+type admitted = {
+  fid : int;
+  mutant : Mutant.t;
+  regions : stage_range list;
+  reallocated : (int * stage_range list) list;
+  considered_mutants : int;
+  feasible_mutants : int;
+  compute_time_s : float;
+}
+
+type rejected = { considered_mutants : int; compute_time_s : float }
+type outcome = Admitted of admitted | Rejected of rejected
+
+type app = {
+  app_fid : int;
+  app_elastic : bool;
+  app_mutant : Mutant.t;
+  app_demand : (int * int) list;  (* merged (stage, blocks) *)
+  mutable app_layout : (int * Pool.range) list;
+}
+
+type spec_key = {
+  k_length : int;
+  k_accesses : int array;
+  k_gaps : int array;
+  k_rts : int option;
+}
+
+type t = {
+  params : Rmt.Params.t;
+  scheme : scheme;
+  policy : Mutant.policy;
+  mutant_limit : int;
+  pools : Pool.t array;
+  apps : (int, app) Hashtbl.t;
+  mutants_cache : (spec_key, Mutant.t list) Hashtbl.t;
+      (* mutant sets depend only on the program shape, so the controller
+         enumerates each shape once (clients cache them likewise) *)
+}
+
+let create ?(scheme = Worst_fit) ?(policy = Mutant.Most_constrained)
+    ?(mutant_limit = 4096) params =
+  {
+    params;
+    scheme;
+    policy;
+    mutant_limit;
+    pools =
+      Array.init params.Rmt.Params.logical_stages (fun _ ->
+          Pool.create ~total_blocks:params.Rmt.Params.blocks_per_stage);
+    apps = Hashtbl.create 256;
+    mutants_cache = Hashtbl.create 16;
+  }
+
+let mutants_of t (spec : Spec.t) =
+  let key =
+    {
+      k_length = spec.Spec.length;
+      k_accesses = spec.Spec.accesses;
+      k_gaps = spec.Spec.gaps;
+      k_rts = spec.Spec.rts;
+    }
+  in
+  match Hashtbl.find_opt t.mutants_cache key with
+  | Some ms -> ms
+  | None ->
+    let ms = Mutant.enumerate ~limit:t.mutant_limit t.params t.policy spec in
+    Hashtbl.replace t.mutants_cache key ms;
+    ms
+
+let params t = t.params
+let scheme t = t.scheme
+let policy t = t.policy
+let resident t = Hashtbl.fold (fun fid _ acc -> fid :: acc) t.apps []
+let is_resident t ~fid = Hashtbl.mem t.apps fid
+
+let regions_of t ~fid =
+  Option.map
+    (fun app ->
+      List.map (fun (stage, range) -> { stage; range }) app.app_layout
+      |> List.sort (fun a b -> compare a.stage b.stage))
+    (Hashtbl.find_opt t.apps fid)
+
+let app_blocks t ~fid =
+  match Hashtbl.find_opt t.apps fid with
+  | None -> 0
+  | Some app ->
+    List.fold_left (fun acc (_, r) -> acc + r.Pool.n_blocks) 0 app.app_layout
+
+let utilization t =
+  let used = Array.fold_left (fun acc p -> acc + Pool.used_blocks p) 0 t.pools in
+  let total =
+    Array.length t.pools * t.params.Rmt.Params.blocks_per_stage
+  in
+  float_of_int used /. float_of_int total
+
+let stage_used_blocks t = Array.map Pool.used_blocks t.pools
+
+let elastic_fids t =
+  Hashtbl.fold (fun fid app acc -> if app.app_elastic then fid :: acc else acc) t.apps []
+
+(* A conservative per-stage cap on resident apps derived from TCAM
+   capacity: a protection range of width w bits expands to at most 2w - 2
+   prefixes, so capacity / (2w - 2) apps always fit and installation can
+   never fail after admission. *)
+let max_apps_per_stage t =
+  let w = t.params.Rmt.Params.mar_bits in
+  max 1 (t.params.Rmt.Params.tcam_entries_per_stage / ((2 * w) - 2))
+
+let feasible t (a : arrival) demand =
+  List.for_all
+    (fun (s, d) ->
+      let pool = t.pools.(s) in
+      List.length (Pool.slots pool) + 1 <= max_apps_per_stage t
+      &&
+      if a.elastic then Pool.can_fit_elastic pool ~min_blocks:d
+      else Pool.can_fit_inelastic pool ~blocks:d)
+    demand
+
+(* Per-stage costs follow the paper's f(x) = g(x) . C with C >= 0, so
+   using additional stages is never free: worst-fit charges a stage by how
+   much of it is *not* fungible, best-fit by how much is. *)
+let mutant_cost t (a : arrival) demand =
+  let stages = List.map fst demand in
+  let total = t.params.Rmt.Params.blocks_per_stage in
+  match t.scheme with
+  | First_fit -> 0.0
+  | Worst_fit ->
+    List.fold_left
+      (fun acc s ->
+        acc +. float_of_int (total - Pool.fungible_blocks t.pools.(s)))
+      0.0 stages
+  | Best_fit ->
+    List.fold_left
+      (fun acc s -> acc +. float_of_int (Pool.fungible_blocks t.pools.(s)))
+      0.0 stages
+  | Min_realloc ->
+    ignore a;
+    List.fold_left
+      (fun acc s -> acc +. float_of_int (Pool.n_elastic t.pools.(s)))
+      0.0 stages
+
+let merged_demand (a : arrival) mutant =
+  Mutant.demand_by_stage mutant ~demand_blocks:a.demand_blocks
+
+(* Snapshot the layouts of every app resident in [stages], used to diff
+   out the set of reallocated apps after placement. *)
+let snapshot_layouts t stages =
+  Hashtbl.fold
+    (fun fid app acc ->
+      if List.exists (fun (s, _) -> List.mem s stages) app.app_layout then
+        (fid, app.app_layout) :: acc
+      else acc)
+    t.apps []
+
+let refresh_layouts t stages =
+  List.iter
+    (fun s ->
+      let new_elastic = Pool.refill_elastic t.pools.(s) in
+      List.iter
+        (fun (fid, range) ->
+          match Hashtbl.find_opt t.apps fid with
+          | None -> ()
+          | Some app ->
+            app.app_layout <-
+              (s, range) :: List.remove_assoc s app.app_layout)
+        new_elastic)
+    stages
+
+let diff_reallocated t before =
+  List.filter_map
+    (fun (fid, old_layout) ->
+      match Hashtbl.find_opt t.apps fid with
+      | None -> None
+      | Some app ->
+        let changed =
+          List.exists
+            (fun (s, r) ->
+              match List.assoc_opt s old_layout with
+              | None -> true
+              | Some r' -> r <> r')
+            app.app_layout
+          || List.length app.app_layout <> List.length old_layout
+        in
+        if changed then
+          Some
+            ( fid,
+              List.map (fun (stage, range) -> { stage; range }) app.app_layout
+              |> List.sort (fun a b -> compare a.stage b.stage) )
+        else None)
+    before
+
+let admit t (a : arrival) =
+  if Hashtbl.mem t.apps a.fid then
+    invalid_arg (Printf.sprintf "Allocator.admit: fid %d already resident" a.fid);
+  if Array.length a.demand_blocks <> Array.length a.spec.Spec.accesses then
+    invalid_arg "Allocator.admit: demand_blocks does not match spec accesses";
+  let t0 = Sys.time () in
+  let mutants = mutants_of t a.spec in
+  let considered = List.length mutants in
+  let scored =
+    List.filteri (fun _ _ -> true) mutants
+    |> List.filter_map (fun m ->
+           let demand = merged_demand a m in
+           if feasible t a demand then Some (m, demand, mutant_cost t a demand)
+           else None)
+  in
+  let feasible_count = List.length scored in
+  let best =
+    match t.scheme with
+    | First_fit -> (match scored with [] -> None | x :: _ -> Some x)
+    | Worst_fit | Best_fit | Min_realloc ->
+      List.fold_left
+        (fun acc ((_, _, c) as cand) ->
+          match acc with
+          | None -> Some cand
+          | Some (_, _, c') -> if c < c' then Some cand else acc)
+        None scored
+  in
+  match best with
+  | None ->
+    Rejected { considered_mutants = considered; compute_time_s = Sys.time () -. t0 }
+  | Some (mutant, demand, _cost) ->
+    let stages = List.map fst demand in
+    let before = snapshot_layouts t stages in
+    let own_layout = ref [] in
+    List.iter
+      (fun (s, d) ->
+        let pool = t.pools.(s) in
+        if a.elastic then begin
+          match Pool.add_elastic pool ~fid:a.fid ~min_blocks:d with
+          | Ok () -> ()
+          | Error `No_space -> assert false (* guarded by [feasible] *)
+        end
+        else begin
+          match Pool.add_inelastic pool ~fid:a.fid ~blocks:d with
+          | Ok range -> own_layout := (s, range) :: !own_layout
+          | Error `No_space -> assert false
+        end)
+      demand;
+    let app =
+      {
+        app_fid = a.fid;
+        app_elastic = a.elastic;
+        app_mutant = mutant;
+        app_demand = demand;
+        app_layout = !own_layout;
+      }
+    in
+    Hashtbl.replace t.apps a.fid app;
+    refresh_layouts t stages;
+    let reallocated =
+      diff_reallocated t (List.filter (fun (fid, _) -> fid <> a.fid) before)
+    in
+    let regions =
+      List.map (fun (stage, range) -> { stage; range }) app.app_layout
+      |> List.sort (fun x y -> compare x.stage y.stage)
+    in
+    Admitted
+      {
+        fid = a.fid;
+        mutant;
+        regions;
+        reallocated;
+        considered_mutants = considered;
+        feasible_mutants = feasible_count;
+        compute_time_s = Sys.time () -. t0;
+      }
+
+let depart t ~fid =
+  match Hashtbl.find_opt t.apps fid with
+  | None -> []
+  | Some app ->
+    let stages = List.map fst app.app_demand in
+    let before = snapshot_layouts t stages in
+    Array.iter (fun pool -> ignore (Pool.remove pool ~fid)) t.pools;
+    Hashtbl.remove t.apps fid;
+    refresh_layouts t stages;
+    diff_reallocated t (List.filter (fun (f, _) -> f <> fid) before)
+
+let regions_response t ~fid =
+  match Hashtbl.find_opt t.apps fid with
+  | None -> None
+  | Some app ->
+    let n = t.params.Rmt.Params.logical_stages in
+    let wpb = Rmt.Params.words_per_block t.params in
+    let out = Array.make n None in
+    List.iter
+      (fun (s, r) ->
+        out.(s) <-
+          Some
+            {
+              Activermt.Packet.start_word = r.Pool.first_block * wpb;
+              n_words = r.Pool.n_blocks * wpb;
+            })
+      app.app_layout;
+    Some out

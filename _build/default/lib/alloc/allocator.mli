@@ -1,0 +1,86 @@
+open Import
+
+(** The online memory allocator (Section 4.2).
+
+    On each arrival the allocator systematically searches the new
+    program's mutants (existing applications are never moved across
+    stages), scores feasible candidates with the configured scheme's cost
+    over per-stage fungible memory, and computes the resulting within-stage
+    placements.  Elastic residents of the touched stages are resized by
+    progressive filling; any resident whose region changed is reported as
+    reallocated (it must snapshot and migrate its state, Section 4.3).
+
+    Departures free the region and expand the remaining elastic residents
+    of the affected stages. *)
+
+type scheme = Worst_fit | Best_fit | First_fit | Min_realloc
+
+val scheme_to_string : scheme -> string
+val scheme_of_string : string -> (scheme, string) result
+
+type arrival = {
+  fid : int;
+  spec : Spec.t;
+  elastic : bool;
+  demand_blocks : int array;
+      (** per memory access: exact blocks for inelastic apps, minimum
+          blocks for elastic apps *)
+}
+
+type stage_range = { stage : int; range : Pool.range }
+
+type admitted = {
+  fid : int;
+  mutant : Mutant.t;
+  regions : stage_range list;  (** the new app's placement *)
+  reallocated : (int * stage_range list) list;
+      (** existing apps whose placement changed, with their full new
+          layout *)
+  considered_mutants : int;
+  feasible_mutants : int;
+  compute_time_s : float;
+}
+
+type rejected = { considered_mutants : int; compute_time_s : float }
+
+type outcome = Admitted of admitted | Rejected of rejected
+
+type t
+
+val create :
+  ?scheme:scheme ->
+  ?policy:Mutant.policy ->
+  ?mutant_limit:int ->
+  Rmt.Params.t ->
+  t
+(** Defaults: worst-fit (the prototype's choice) and most-constrained. *)
+
+val params : t -> Rmt.Params.t
+val scheme : t -> scheme
+val policy : t -> Mutant.policy
+
+val admit : t -> arrival -> outcome
+(** @raise Invalid_argument if the FID is already resident or the demand
+    array does not match the spec's accesses. *)
+
+val depart : t -> fid:int -> (int * stage_range list) list
+(** Remove the app; returns the apps reallocated (expanded) as a result.
+    Unknown FIDs return []. *)
+
+val resident : t -> int list
+val is_resident : t -> fid:int -> bool
+val regions_of : t -> fid:int -> stage_range list option
+val app_blocks : t -> fid:int -> int
+(** Total blocks currently held across stages (0 if absent). *)
+
+val utilization : t -> float
+(** Allocated blocks / total blocks across all stages (Figures 6, 7a). *)
+
+val stage_used_blocks : t -> int array
+
+val elastic_fids : t -> int list
+
+val regions_response :
+  t -> fid:int -> Activermt.Packet.region option array option
+(** Word-granular regions per logical stage, as carried by allocation
+    response packets. *)

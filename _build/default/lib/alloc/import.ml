@@ -1,0 +1,4 @@
+(* Short aliases for the compiler library's modules used throughout the
+   allocator. *)
+module Spec = Activermt_compiler.Spec
+module Mutant = Activermt_compiler.Mutant

@@ -1,0 +1,65 @@
+(** One logical stage's memory pool, divided into fixed-size blocks
+    (Section 4.1; 256 blocks per stage by default).
+
+    Inelastic applications are pinned to the beginning of the pool and are
+    never moved; when they depart they may leave holes (the fragmentation
+    the paper accepts).  New inelastic apps fill the first hole that fits,
+    or extend the pinned zone.  Elastic applications share the remainder
+    above the pinned zone's high-water mark by progressive filling
+    (max-min fair with per-app minimums, integer blocks), packed
+    contiguously in arrival order. *)
+
+type range = { first_block : int; n_blocks : int }
+
+val range_end : range -> int
+(** One past the last block. *)
+
+type slot = { fid : int; range : range; min_blocks : int; elastic : bool }
+
+type t
+
+val create : total_blocks:int -> t
+val total_blocks : t -> int
+val high_water : t -> int
+(** Top of the pinned (inelastic) zone. *)
+
+val used_blocks : t -> int
+val slots : t -> slot list
+(** All resident slots, inelastic first (by address), then elastic (by
+    arrival). *)
+
+val slot_of : t -> fid:int -> slot option
+val n_elastic : t -> int
+val elastic_min_total : t -> int
+
+val fungible_blocks : t -> int
+(** Free blocks plus blocks elastic residents could yield while keeping
+    their minimums: total - high_water - sum of elastic minimums.  The
+    cost metric behind worst-fit/best-fit (Section 4.2). *)
+
+val can_fit_inelastic : t -> blocks:int -> bool
+(** Is there a hole or enough fungible headroom for a pinned region? *)
+
+val can_fit_elastic : t -> min_blocks:int -> bool
+
+val add_inelastic : t -> fid:int -> blocks:int -> (range, [ `No_space ]) result
+(** Place and pin; does not touch elastic residents (call
+    [refill_elastic] afterwards to shrink them around the new zone). *)
+
+val add_elastic : t -> fid:int -> min_blocks:int -> (unit, [ `No_space ]) result
+(** Register an elastic resident; its region materializes on
+    [refill_elastic]. *)
+
+val remove : t -> fid:int -> bool
+(** Remove a resident; true if it was present. *)
+
+val refill_elastic : t -> (int * range) list
+(** Recompute elastic shares by progressive filling and repack them above
+    the high-water mark.  Returns the new (fid, range) layout of all
+    elastic residents. *)
+
+val map : t -> int array
+(** The per-block ownership map (block index -> fid, -1 when free),
+    rebuilt from the slot state on demand.
+    @raise Invalid_argument if two residents overlap — the allocator's
+    central safety invariant. *)

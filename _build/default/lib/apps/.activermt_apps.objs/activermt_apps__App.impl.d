@@ -1,0 +1,1 @@
+lib/apps/app.ml: Activermt Activermt_compiler Array List Printf

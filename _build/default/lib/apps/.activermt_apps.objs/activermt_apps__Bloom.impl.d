@@ -1,0 +1,1 @@
+lib/apps/bloom.ml: Activermt_compiler App

@@ -1,0 +1,1 @@
+lib/apps/bloom.mli: Activermt App

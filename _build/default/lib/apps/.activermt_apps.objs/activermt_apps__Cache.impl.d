@@ -1,0 +1,1 @@
+lib/apps/cache.ml: Activermt_compiler App Rmt

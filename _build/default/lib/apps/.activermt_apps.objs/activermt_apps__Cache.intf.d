@@ -1,0 +1,1 @@
+lib/apps/cache.mli: Activermt App

@@ -1,0 +1,1 @@
+lib/apps/cheetah_lb.ml: Activermt Activermt_compiler App Array List

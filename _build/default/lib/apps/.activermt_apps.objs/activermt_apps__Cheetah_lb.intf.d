@@ -1,0 +1,1 @@
+lib/apps/cheetah_lb.mli: Activermt App

@@ -1,0 +1,1 @@
+lib/apps/counter.ml: Activermt Activermt_compiler App Array Rmt

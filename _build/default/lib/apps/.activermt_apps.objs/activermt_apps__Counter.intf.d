@@ -1,0 +1,1 @@
+lib/apps/counter.mli: Activermt App

@@ -1,0 +1,1 @@
+lib/apps/heavy_hitter.ml: Activermt_compiler App

@@ -1,0 +1,1 @@
+lib/apps/heavy_hitter.mli: Activermt App

@@ -1,0 +1,1 @@
+lib/apps/memsync.ml: Activermt App Array Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/apps/memsync.mli: Activermt

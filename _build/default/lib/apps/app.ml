@@ -1,0 +1,34 @@
+module Spec = Activermt_compiler.Spec
+
+type t = {
+  name : string;
+  programs : Spec.t list;
+  elastic : bool;
+  demand_blocks : int array;
+}
+
+let spec t =
+  match t.programs with
+  | s :: _ -> s
+  | [] -> invalid_arg "App.spec: service has no programs"
+
+let program_of_assembly ~name text =
+  match Activermt.Program.parse ~name text with
+  | Ok p -> p
+  | Error e -> invalid_arg (Printf.sprintf "App %s: %s" name e)
+
+let validate t =
+  match t.programs with
+  | [] -> Error "service has no programs"
+  | canonical :: rest ->
+    let same_structure (s : Spec.t) =
+      s.Spec.accesses = canonical.Spec.accesses
+      && s.Spec.gaps = canonical.Spec.gaps
+    in
+    if not (List.for_all same_structure rest) then
+      Error "co-scheduled programs must share the canonical access structure"
+    else if Array.length t.demand_blocks <> Array.length canonical.Spec.accesses
+    then Error "demand_blocks must have one entry per memory access"
+    else if Array.exists (fun d -> d <= 0) t.demand_blocks then
+      Error "block demands must be positive"
+    else Ok t

@@ -1,0 +1,33 @@
+(** Descriptors for deployable active services.
+
+    A service bundles one or more active programs that execute under a
+    single FID and therefore share one memory allocation.  The first
+    program is the canonical one whose access pattern defines the
+    allocation constraints; any additional programs are authored with the
+    same access/gap structure so that one mutant shift schedules them all
+    onto the same stages (e.g. the cache's query and populate programs).
+
+    The three exemplar services match Section 6.1's workload: an elastic
+    in-network cache, an inelastic heavy-hitter detector (16 blocks per
+    sketch row), and an inelastic stateless load balancer. *)
+
+type t = {
+  name : string;
+  programs : Activermt_compiler.Spec.t list;
+      (** specs of all programs; head = canonical *)
+  elastic : bool;
+  demand_blocks : int array;
+      (** per canonical access: exact blocks (inelastic) or minimum
+          blocks (elastic) *)
+}
+
+val spec : t -> Activermt_compiler.Spec.t
+(** The canonical program's spec. *)
+
+val validate : t -> (t, string) result
+(** Check that all programs share the canonical access/gap structure and
+    that demands match the access count. *)
+
+val program_of_assembly : name:string -> string -> Activermt.Program.t
+(** Parse assembly or raise [Invalid_argument]; for statically known
+    program text. *)

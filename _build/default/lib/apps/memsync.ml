@@ -1,0 +1,102 @@
+module I = Activermt.Instr
+
+let max_stages_per_packet = 3
+
+let listing5 =
+  App.program_of_assembly ~name:"memsync-read-listing5"
+    {|
+      MAR_LOAD 0
+      MEM_READ
+      MBR_STORE 1
+      RTS
+      RETURN
+    |}
+
+let listing6 =
+  App.program_of_assembly ~name:"memsync-write-listing6"
+    {|
+      MBR_LOAD 1
+      MAR_LOAD 0
+      MEM_WRITE
+      RTS
+      RETURN
+    |}
+
+let check_stages stages =
+  let n = List.length stages in
+  if n = 0 then invalid_arg "Memsync: no stages";
+  if n > max_stages_per_packet then
+    invalid_arg "Memsync: at most three stages per packet";
+  let rec strictly_spaced = function
+    | a :: (b :: _ as rest) ->
+      if b < a + 2 then
+        invalid_arg "Memsync: stages must be >= 2 apart (value slot between reads)"
+      else strictly_spaced rest
+    | [ _ ] | [] -> ()
+  in
+  strictly_spaced stages;
+  if List.exists (fun s -> s < 0 || s >= 20) stages then
+    invalid_arg "Memsync: stages must lie within one pipeline pass"
+
+(* Lay out a sparse program: a map position -> instruction, NOP-filled,
+   with an RTS on the first free slot (ingress-preferred) and a RETURN at
+   the end. *)
+let layout ~name cells ~last =
+  let used = Hashtbl.create 8 in
+  List.iter (fun (p, i) -> Hashtbl.replace used p i) cells;
+  let rts_slot =
+    let rec find p = if Hashtbl.mem used p then find (p + 1) else p in
+    find 0
+  in
+  Hashtbl.replace used rts_slot I.Rts;
+  let len = max (last + 1) (rts_slot + 1) in
+  let lines =
+    List.init (len + 1) (fun p ->
+        if p = len then Activermt.Program.line I.Return
+        else
+          Activermt.Program.line
+            (Option.value ~default:I.Nop (Hashtbl.find_opt used p)))
+  in
+  Activermt.Program.v ~name lines
+
+let read_program ~stages =
+  check_stages stages;
+  let cells =
+    List.concat
+      (List.mapi
+         (fun k s ->
+           let store_arg =
+             match I.arg_of_index (k + 1) with Some a -> a | None -> assert false
+           in
+           [ (s, I.Mem_read); (s + 1, I.Mbr_store store_arg) ])
+         stages)
+  in
+  let last = List.fold_left max 0 (List.map fst cells) in
+  layout ~name:"memsync-read" cells ~last
+
+let write_program ~stages =
+  check_stages stages;
+  let cells =
+    List.concat
+      (List.mapi
+         (fun k s ->
+           let load_arg =
+             match I.arg_of_index (k + 1) with Some a -> a | None -> assert false
+           in
+           (* MBR is preloaded with argument 1, so the first value needs no
+              explicit load when its write sits at position 0. *)
+           let load = if s = 0 then [] else [ (s - 1, I.Mbr_load load_arg) ] in
+           load @ [ (s, I.Mem_write) ])
+         stages)
+  in
+  let last = List.fold_left max 0 (List.map fst cells) in
+  layout ~name:"memsync-write" cells ~last
+
+let read_args ~index = [| index; 0; 0; 0 |]
+
+let write_args ~index ~values =
+  if List.length values > max_stages_per_packet then
+    invalid_arg "Memsync.write_args: too many values";
+  let a = [| index; 0; 0; 0 |] in
+  List.iteri (fun i v -> a.(i + 1) <- v) values;
+  a

@@ -1,0 +1,1 @@
+lib/client/cache_client.ml: Activermt Activermt_apps Array Hashtbl List Synthesis Workload

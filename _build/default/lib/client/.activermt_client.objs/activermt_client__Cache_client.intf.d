@@ -1,0 +1,1 @@
+lib/client/cache_client.mli: Activermt Activermt_compiler Rmt Synthesis Workload

@@ -1,0 +1,1 @@
+lib/client/hh_client.mli: Activermt Activermt_compiler Rmt Synthesis Workload

@@ -1,0 +1,1 @@
+lib/client/lb_client.ml: Activermt Activermt_apps Activermt_compiler Array List Rmt Synthesis

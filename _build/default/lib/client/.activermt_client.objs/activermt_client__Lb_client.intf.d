@@ -1,0 +1,1 @@
+lib/client/lb_client.mli: Activermt Activermt_compiler Rmt Synthesis

@@ -1,0 +1,1 @@
+lib/client/memsync_driver.ml: Activermt Activermt_apps Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/client/memsync_driver.mli: Activermt

@@ -1,0 +1,1 @@
+lib/client/negotiate.ml: Activermt Activermt_apps Activermt_compiler

@@ -1,0 +1,1 @@
+lib/client/negotiate.mli: Activermt Activermt_apps

@@ -1,0 +1,1 @@
+lib/client/shim.ml: Activermt Printf

@@ -1,0 +1,1 @@
+lib/client/synthesis.ml: Activermt Activermt_apps Activermt_compiler Array List

@@ -1,0 +1,1 @@
+lib/client/synthesis.mli: Activermt Activermt_apps Activermt_compiler Rmt

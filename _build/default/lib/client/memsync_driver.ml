@@ -1,0 +1,104 @@
+module Memsync = Activermt_apps.Memsync
+
+type op = Read | Write of (int -> int list)
+
+type slot = { mutable acked : bool; mutable last_sent : float; mutable seq : int }
+
+type t = {
+  fid : Activermt.Packet.fid;
+  stages : int list;
+  count : int;
+  timeout_s : float;
+  op : op;
+  program : Activermt.Program.t;
+  slots : slot array;
+  seq_to_index : (int, int) Hashtbl.t;
+  results : int array array;
+  mutable next_seq : int;
+  mutable sent : int;
+}
+
+let vflags = { Activermt.Packet.no_flags with virtual_addressing = true }
+
+let create ~fid ~stages ~count ~timeout_s op =
+  if count <= 0 then invalid_arg "Memsync_driver.create: count must be positive";
+  if timeout_s <= 0.0 then invalid_arg "Memsync_driver.create: timeout must be positive";
+  let program =
+    match op with
+    | Read -> Memsync.read_program ~stages
+    | Write _ -> Memsync.write_program ~stages
+  in
+  {
+    fid;
+    stages;
+    count;
+    timeout_s;
+    op;
+    program;
+    slots = Array.init count (fun _ -> { acked = false; last_sent = neg_infinity; seq = -1 });
+    seq_to_index = Hashtbl.create (2 * count);
+    results = Array.make_matrix (List.length stages) count 0;
+    next_seq = 1;
+    sent = 0;
+  }
+
+let outstanding t =
+  Array.fold_left (fun acc s -> if s.acked then acc else acc + 1) 0 t.slots
+
+let is_done t = outstanding t = 0
+
+let packet_for t ~seq ~index =
+  let args =
+    match t.op with
+    | Read -> Memsync.read_args ~index
+    | Write values -> Memsync.write_args ~index ~values:(values index)
+  in
+  Activermt.Packet.exec ~flags:vflags ~fid:t.fid ~seq ~args t.program
+
+let transmit t ~now ~send index =
+  let slot = t.slots.(index) in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  slot.seq <- seq;
+  slot.last_sent <- now;
+  t.sent <- t.sent + 1;
+  Hashtbl.replace t.seq_to_index seq index;
+  send ~seq (packet_for t ~seq ~index)
+
+let start t ~now ~send =
+  for index = 0 to t.count - 1 do
+    if not t.slots.(index).acked then transmit t ~now ~send index
+  done
+
+let on_reply t ~seq ~args =
+  match Hashtbl.find_opt t.seq_to_index seq with
+  | None -> false
+  | Some index ->
+    Hashtbl.remove t.seq_to_index seq;
+    let slot = t.slots.(index) in
+    if slot.acked then false
+    else begin
+      slot.acked <- true;
+      (match t.op with
+      | Read ->
+        List.iteri
+          (fun k _stage ->
+            if k + 1 < Array.length args then t.results.(k).(index) <- args.(k + 1))
+          t.stages
+      | Write _ -> ());
+      true
+    end
+
+let tick t ~now ~send =
+  let resent = ref 0 in
+  for index = 0 to t.count - 1 do
+    let slot = t.slots.(index) in
+    if (not slot.acked) && now -. slot.last_sent >= t.timeout_s then begin
+      transmit t ~now ~send index;
+      incr resent
+    end
+  done;
+  !resent
+
+let values t = t.results
+let attempts t = t.sent

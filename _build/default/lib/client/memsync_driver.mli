@@ -1,0 +1,50 @@
+(** Reliable bulk memory synchronization over memsync packets.
+
+    Section 4.3: reads and writes are idempotent, every packet replies via
+    RTS, and "packets that fail execution (i.e., are dropped) do not
+    generate a response.  Since reads and writes are idempotent the client
+    can safely retransmit after a timeout."  This driver implements that
+    loop as a pure state machine (the caller supplies time and a send
+    function), covering a whole index range of up to three stages per
+    packet. *)
+
+type op = Read | Write of (int -> int list)
+(** For writes, the function gives the values (one per stage) to store at
+    each index. *)
+
+type t
+
+val create :
+  fid:Activermt.Packet.fid ->
+  stages:int list ->
+  count:int ->
+  timeout_s:float ->
+  op ->
+  t
+(** Synchronize indices [0, count) of the given stages (at most 3,
+    ascending, >= 2 apart — memsync packet geometry). *)
+
+val outstanding : t -> int
+(** Indices not yet acknowledged. *)
+
+val is_done : t -> bool
+
+val start : t -> now:float -> send:(seq:int -> Activermt.Packet.t -> unit) -> unit
+(** Transmit every index once.  [send] is called synchronously; seqs are
+    unique per index attempt. *)
+
+val on_reply : t -> seq:int -> args:int array -> bool
+(** Feed a reply (the RTS'd packet's argument fields).  Returns false if
+    the seq is unknown/duplicate (already satisfied).  For reads the
+    values are recorded. *)
+
+val tick : t -> now:float -> send:(seq:int -> Activermt.Packet.t -> unit) -> int
+(** Retransmit every index whose last attempt timed out; returns how many
+    were resent. *)
+
+val values : t -> int array array
+(** For reads, one array per stage (in the order given to [create]),
+    [count] words each; zeros where no reply arrived yet. *)
+
+val attempts : t -> int
+(** Total packets sent, for loss accounting. *)

@@ -1,0 +1,39 @@
+module App = Activermt_apps.App
+module Spec = Activermt_compiler.Spec
+
+let request_packet ~fid ~seq (app : App.t) =
+  let request =
+    Spec.to_request ~elastic:app.App.elastic ~demand_blocks:app.App.demand_blocks
+      (App.spec app)
+  in
+  {
+    Activermt.Packet.fid;
+    seq;
+    flags =
+      {
+        Activermt.Packet.elastic = app.App.elastic;
+        virtual_addressing = true;
+        ack = false;
+      };
+    payload = Activermt.Packet.Request request;
+  }
+
+let extraction_done_packet ~fid =
+  {
+    Activermt.Packet.fid;
+    seq = 0;
+    flags = { Activermt.Packet.no_flags with ack = true };
+    payload = Activermt.Packet.Bare;
+  }
+
+let release_packet ~fid =
+  { Activermt.Packet.fid; seq = 0; flags = Activermt.Packet.no_flags;
+    payload = Activermt.Packet.Bare }
+
+let granted_regions (pkt : Activermt.Packet.t) =
+  match pkt.Activermt.Packet.payload with
+  | Activermt.Packet.Response { status = Activermt.Packet.Granted; regions } ->
+    Some regions
+  | Activermt.Packet.Response { status = Activermt.Packet.Rejected; _ }
+  | Activermt.Packet.Request _ | Activermt.Packet.Exec _ | Activermt.Packet.Bare ->
+    None

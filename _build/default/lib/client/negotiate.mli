@@ -1,0 +1,18 @@
+(** Allocation-protocol packet builders shared by all service clients. *)
+
+val request_packet :
+  fid:Activermt.Packet.fid -> seq:int -> Activermt_apps.App.t -> Activermt.Packet.t
+(** Allocation request describing the service's canonical access pattern,
+    demands and elasticity (Section 3.3). *)
+
+val extraction_done_packet : fid:Activermt.Packet.fid -> Activermt.Packet.t
+(** Bare active packet with the ack flag: "I finished extracting state"
+    (Section 4.3). *)
+
+val release_packet : fid:Activermt.Packet.fid -> Activermt.Packet.t
+(** Bare active packet without the ack flag: release my allocation. *)
+
+val granted_regions :
+  Activermt.Packet.t -> Activermt.Packet.region option array option
+(** Regions from a granted allocation response; [None] for rejections or
+    other packets. *)

@@ -1,0 +1,45 @@
+module Mutant = Activermt_compiler.Mutant
+module App = Activermt_apps.App
+
+type granted = {
+  mutant : Mutant.t;
+  regions : Activermt.Packet.region option array;
+  access_regions : Activermt.Packet.region array;
+}
+
+let sorted_unique l = List.sort_uniq compare l
+
+let granted_stages regions =
+  let out = ref [] in
+  Array.iteri
+    (fun s r -> match r with Some _ -> out := s :: !out | None -> ())
+    regions;
+  sorted_unique !out
+
+let match_response params ~policy app regions =
+  let spec = App.spec app in
+  let want = granted_stages regions in
+  let mutants = Mutant.enumerate ~limit:4096 params policy spec in
+  let matches m = sorted_unique (Array.to_list m.Mutant.stages) = want in
+  match List.find_opt matches mutants with
+  | None -> Error "no mutant matches the granted stages"
+  | Some mutant ->
+    let access_regions =
+      Array.map
+        (fun s ->
+          match regions.(s) with
+          | Some r -> r
+          | None -> assert false (* [matches] guarantees a region per stage *))
+        mutant.Mutant.stages
+    in
+    Ok { mutant; regions = Array.copy regions; access_regions }
+
+let programs app granted =
+  List.map
+    (fun spec -> Mutant.synthesize spec granted.mutant)
+    app.App.programs
+
+let min_access_words g =
+  Array.fold_left
+    (fun acc r -> min acc r.Activermt.Packet.n_words)
+    max_int g.access_regions

@@ -1,0 +1,31 @@
+(** Client-side program synthesis against a granted allocation
+    (Sections 3.2 and 4.3).
+
+    The allocation response tells the client *which stages* (and how much
+    memory in each) it received; the client recovers the mutant the switch
+    chose — the enumeration is shared code, so both sides agree on the
+    systematic order — inserts the NOPs that realize it into every program
+    of the service, and re-targets memory accesses (address translation
+    happens per-stage at the switch under virtual addressing, so programs
+    address their regions relative to zero). *)
+
+type granted = {
+  mutant : Activermt_compiler.Mutant.t;
+  regions : Activermt.Packet.region option array;  (** per logical stage *)
+  access_regions : Activermt.Packet.region array;  (** per canonical access *)
+}
+
+val match_response :
+  Rmt.Params.t ->
+  policy:Activermt_compiler.Mutant.policy ->
+  Activermt_apps.App.t ->
+  Activermt.Packet.region option array ->
+  (granted, string) result
+(** Identify the mutant whose access stages equal the granted stages. *)
+
+val programs : Activermt_apps.App.t -> granted -> Activermt.Program.t list
+(** All of the service's programs synthesized for the granted mutant. *)
+
+val min_access_words : granted -> int
+(** Smallest region among the accesses: the usable per-bucket capacity for
+    services that keep one object slice per access stage (the cache). *)

@@ -1,0 +1,1 @@
+lib/compiler/mutant.mli: Activermt Rmt Spec

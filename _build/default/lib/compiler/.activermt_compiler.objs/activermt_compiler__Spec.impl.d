@@ -1,0 +1,1 @@
+lib/compiler/spec.ml: Activermt Array List

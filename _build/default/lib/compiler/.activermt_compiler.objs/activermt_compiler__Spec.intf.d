@@ -1,0 +1,1 @@
+lib/compiler/spec.mli: Activermt

@@ -1,0 +1,155 @@
+type policy = Most_constrained | Least_constrained
+
+let policy_to_string = function
+  | Most_constrained -> "most-constrained"
+  | Least_constrained -> "least-constrained"
+
+type t = {
+  shifts : int array;
+  positions : int array;
+  stages : int array;
+  passes : int;
+  port_recirc : bool;
+}
+
+(* "Most constrained" adds no recirculation beyond what the compact
+   program already needs; "least constrained" allows one more pass. *)
+let base_passes params (spec : Spec.t) =
+  let n = params.Rmt.Params.logical_stages in
+  max 1 ((spec.Spec.length + n - 1) / n)
+
+let max_passes_of_policy params spec = function
+  | Most_constrained -> base_passes params spec
+  | Least_constrained ->
+    min (base_passes params spec + 1) (params.Rmt.Params.recirc_limit + 1)
+
+(* The RTS is shifted by insertions that happen before it, i.e. by the
+   shift of the last access at or before its position. *)
+let rts_shift (spec : Spec.t) shifts =
+  match spec.Spec.rts with
+  | None -> 0
+  | Some r ->
+    let s = ref 0 in
+    Array.iteri (fun i a -> if a <= r then s := shifts.(i)) spec.Spec.accesses;
+    !s
+
+let build params (spec : Spec.t) shifts =
+  let n = params.Rmt.Params.logical_stages in
+  let ingress = params.Rmt.Params.ingress_stages in
+  let m = Array.length shifts in
+  let positions = Array.init m (fun i -> spec.Spec.accesses.(i) + shifts.(i)) in
+  let stages = Array.map (fun p -> p mod n) positions in
+  let total_len =
+    spec.Spec.length + if m = 0 then 0 else shifts.(m - 1)
+  in
+  let passes = max 1 ((total_len + n - 1) / n) in
+  let port_recirc =
+    match spec.Spec.rts with
+    | None -> false
+    | Some r -> (r + rts_shift spec shifts) mod n >= ingress
+  in
+  { shifts; positions; stages; passes; port_recirc }
+
+let identity spec =
+  (* Parameters only affect stage mapping; use defaults for the compact
+     placement and recompute under real parameters at enumeration time. *)
+  build Rmt.Params.default spec (Array.make (Array.length spec.Spec.accesses) 0)
+
+(* The feasibility region can be huge (hundreds of thousands of
+   non-decreasing shift vectors for long recirculating programs), so the
+   systematic search is capped at [limit] candidates.  A plain
+   lexicographic prefix would only ever vary the last accesses, starving
+   the allocator of genuinely different placements, so when the space
+   exceeds the cap we take an even stride through the lexicographic
+   sequence — deterministic, so the client-side synthesis enumerates the
+   exact same candidate list. *)
+let dfs ~ub ~lb ~m ~visit =
+  let shifts = Array.make m 0 in
+  let rec go i prev_shift =
+    if i = m then visit shifts
+    else begin
+      let max_shift = ub.(i) - lb.(i) in
+      let s = ref prev_shift in
+      let continue = ref true in
+      while !continue && !s <= max_shift do
+        shifts.(i) <- !s;
+        continue := go (i + 1) !s;
+        incr s
+      done;
+      !continue
+    end
+  in
+  if m = 0 then ignore (visit [||]) else ignore (go 0 0)
+
+let hard_cap = 2_000_000
+
+let enumerate ?(limit = 4096) params policy (spec : Spec.t) =
+  let m = Array.length spec.Spec.accesses in
+  if m = 0 then [ build params spec [||] ]
+  else begin
+    let n = params.Rmt.Params.logical_stages in
+    let ingress = params.Rmt.Params.ingress_stages in
+    let max_passes = max_passes_of_policy params spec policy in
+    let ub = Spec.upper_bounds spec ~n_stages:n ~ingress ~max_passes in
+    let lb = Spec.lower_bounds spec in
+    (* Pass 1: count the feasible placements (no allocation). *)
+    let total = ref 0 in
+    dfs ~ub ~lb ~m ~visit:(fun _ ->
+        incr total;
+        !total < hard_cap);
+    let total = !total in
+    let stride = if total <= limit then 1 else (total + limit - 1) / limit in
+    (* Pass 2: materialize every stride-th candidate. *)
+    let acc = ref [] in
+    let idx = ref 0 in
+    let kept = ref 0 in
+    dfs ~ub ~lb ~m ~visit:(fun shifts ->
+        if !idx mod stride = 0 then begin
+          acc := build params spec (Array.copy shifts) :: !acc;
+          incr kept
+        end;
+        incr idx;
+        !idx < hard_cap && !kept < limit);
+    List.rev !acc
+  end
+
+let count ?limit params policy spec =
+  List.length (enumerate ?limit params policy spec)
+
+let synthesize (spec : Spec.t) t =
+  let m = Array.length t.shifts in
+  let insert_before = Hashtbl.create 8 in
+  for i = 0 to m - 1 do
+    let prev = if i = 0 then 0 else t.shifts.(i - 1) in
+    let nops = t.shifts.(i) - prev in
+    if nops > 0 then Hashtbl.replace insert_before spec.Spec.accesses.(i) nops
+  done;
+  let out = ref [] in
+  Array.iteri
+    (fun idx line ->
+      (match Hashtbl.find_opt insert_before idx with
+      | Some nops ->
+        for _ = 1 to nops do
+          out := Activermt.Program.line Activermt.Instr.Nop :: !out
+        done
+      | None -> ());
+      out := line :: !out)
+    spec.Spec.program.Activermt.Program.lines;
+  Activermt.Program.v
+    ~name:(spec.Spec.program.Activermt.Program.name ^ "+mutant")
+    (List.rev !out)
+
+let demand_by_stage t ~demand_blocks =
+  if Array.length demand_blocks <> Array.length t.stages then
+    invalid_arg "Mutant.demand_by_stage: demand length mismatch";
+  (* Accesses that land on the same stage (recirculating programs) share
+     the app's single region there, so the stage needs the largest of
+     their demands — e.g. the heavy hitter's threshold read and write. *)
+  let tbl = Hashtbl.create 8 in
+  Array.iteri
+    (fun i s ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl s) in
+      Hashtbl.replace tbl s (max cur demand_blocks.(i)))
+    t.stages;
+  Hashtbl.fold (fun s d acc -> (s, d) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,95 @@
+type t = {
+  program : Activermt.Program.t;
+  length : int;
+  accesses : int array;
+  gaps : int array;
+  rts : int option;
+}
+
+let analyze program =
+  let accesses = Array.of_list (Activermt.Program.memory_access_positions program) in
+  let gaps =
+    Array.mapi
+      (fun i a -> if i = 0 then a + 1 else a - accesses.(i - 1))
+      accesses
+  in
+  {
+    program;
+    length = Activermt.Program.length program;
+    accesses;
+    gaps;
+    rts = Activermt.Program.rts_position program;
+  }
+
+let lower_bounds t = Array.map (fun a -> a + 1) t.accesses
+
+let upper_bounds t ~n_stages ~ingress ~max_passes =
+  let m = Array.length t.accesses in
+  if m = 0 then [||]
+  else begin
+    let max_pos = n_stages * max_passes in
+    let ub = Array.make m 0 in
+    let p i = t.accesses.(i) + 1 in
+    ub.(m - 1) <- max_pos - (t.length - p (m - 1));
+    for i = m - 2 downto 0 do
+      ub.(i) <- ub.(i + 1) - t.gaps.(i + 1)
+    done;
+    (* When confined to a single pass, keep any RTS within the ingress
+       pipeline by bounding the total shift (see DESIGN.md: the paper's
+       UB = [4 7 11] example for Listing 1). *)
+    (match t.rts with
+    | Some r when max_passes = 1 && r + 1 <= ingress ->
+      let max_shift = ingress - (r + 1) in
+      for i = 0 to m - 1 do
+        ub.(i) <- min ub.(i) (p i + max_shift)
+      done;
+      for i = m - 2 downto 0 do
+        ub.(i) <- min ub.(i) (ub.(i + 1) - t.gaps.(i + 1))
+      done
+    | Some _ | None -> ());
+    ub
+  end
+
+let to_request ~elastic ~demand_blocks t =
+  let m = Array.length t.accesses in
+  if m > 8 then invalid_arg "Spec.to_request: more than 8 memory accesses";
+  if Array.length demand_blocks <> m then
+    invalid_arg "Spec.to_request: demand_blocks length mismatch";
+  ignore elastic;
+  let access i =
+    {
+      Activermt.Packet.position = t.accesses.(i);
+      min_gap = t.gaps.(i);
+      demand_blocks = demand_blocks.(i);
+    }
+  in
+  {
+    Activermt.Packet.prog_length = t.length;
+    rts_position = t.rts;
+    accesses = List.init m access;
+  }
+
+let of_request (r : Activermt.Packet.request) =
+  let accesses =
+    Array.of_list (List.map (fun a -> a.Activermt.Packet.position) r.accesses)
+  in
+  let gaps =
+    Array.of_list (List.map (fun a -> a.Activermt.Packet.min_gap) r.accesses)
+  in
+  let lines =
+    List.init r.prog_length (fun i ->
+        let is_access = Array.exists (fun a -> a = i) accesses in
+        let instr =
+          if is_access then Activermt.Instr.Mem_read
+          else if r.rts_position = Some i then Activermt.Instr.Rts
+          else Activermt.Instr.Nop
+        in
+        Activermt.Program.line instr)
+  in
+  {
+    program = Activermt.Program.v ~name:"request" lines;
+    length = r.prog_length;
+    accesses;
+    gaps;
+    rts = r.rts_position;
+  }

@@ -1,0 +1,44 @@
+(** Static analysis of an active program: the memory-access pattern the
+    client sends in allocation requests (Section 4.2's LB/UB/B vectors).
+
+    Positions here are 0-based instruction indices; the paper's worked
+    example for Listing 1 (accesses at 1-based lines 2, 5, 9 with minimum
+    distances [1 3 4]) corresponds to [accesses = [|1; 4; 8|]] and
+    [gaps = [|2; 3; 4|]] (our [gaps.(0)] is the 1-based position of the
+    first access, i.e. the minimum number of leading stages). *)
+
+type t = {
+  program : Activermt.Program.t;
+  length : int;
+  accesses : int array;  (** 0-based positions of memory accesses *)
+  gaps : int array;  (** [gaps.(0)] = [accesses.(0) + 1]; for i>0,
+                         [gaps.(i)] = [accesses.(i) - accesses.(i-1)] *)
+  rts : int option;  (** 0-based position of the first RTS/CRTS *)
+}
+
+val analyze : Activermt.Program.t -> t
+
+val lower_bounds : t -> int array
+(** 1-based minimal stage for each access (the paper's LB). *)
+
+val upper_bounds : t -> n_stages:int -> ingress:int -> max_passes:int -> int array
+(** 1-based maximal logical position of each access given a pipeline of
+    [n_stages] per pass and at most [max_passes] passes.  With
+    [max_passes = 1] and an RTS present, insertions are conservatively
+    bounded so the RTS stays in the ingress pipeline, reproducing the
+    paper's example UB = [4 7 11] for Listing 1 with 1 pass / RTS-bound and
+    [11 14 18] without the RTS bound. *)
+
+val to_request :
+  elastic:bool -> demand_blocks:int array -> t -> Activermt.Packet.request
+(** Build the 24-byte allocation-request description: one 3-byte entry per
+    access carrying its compact position, minimum gap and block demand.
+    @raise Invalid_argument if there are more than 8 accesses or
+    [demand_blocks] has the wrong length. *)
+
+val of_request :
+  Activermt.Packet.request -> t
+(** Reconstruct the switch-side view of the constraints from a request
+    (the switch never sees the program itself, only this description).
+    The [program] field is a placeholder of NOPs with accesses and RTS at
+    the described positions. *)

@@ -1,0 +1,1 @@
+lib/control/controller.ml: Activermt Allocator Array Cost_model Hashtbl Import List Option Pool Printf Rmt Spec Sys

@@ -1,0 +1,1 @@
+lib/control/controller.mli: Activermt Allocator Cost_model Import Mutant Pool Rmt

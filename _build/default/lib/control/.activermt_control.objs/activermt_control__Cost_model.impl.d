@@ -1,0 +1,1 @@
+lib/control/cost_model.ml:

@@ -1,0 +1,1 @@
+lib/control/import.ml: Activermt_alloc Activermt_compiler

@@ -1,0 +1,376 @@
+open Import
+
+type commit_mode = [ `Auto | `Interactive ]
+
+type provision_phase =
+  | Committed
+  | Awaiting_extraction of { impacted : Activermt.Packet.fid list }
+
+type provision = {
+  fid : Activermt.Packet.fid;
+  response : Activermt.Packet.t;
+  reallocated : Activermt.Packet.fid list;
+  phase : provision_phase;
+  timing : Cost_model.breakdown;
+}
+
+type pending = {
+  new_fid : Activermt.Packet.fid;
+  mutable waiting : Activermt.Packet.fid list;
+  mutable deadline_s : float;
+}
+
+type t = {
+  device : Rmt.Device.t;
+  tables : Activermt.Table.t;
+  allocator : Allocator.t;
+  cost : Cost_model.t;
+  mode : commit_mode;
+  extraction_timeout_s : float;
+  snapshots : (Activermt.Packet.fid, (int * Pool.range * int array) list) Hashtbl.t;
+  virtual_flags : (Activermt.Packet.fid, bool) Hashtbl.t;
+  privileged : (Activermt.Packet.fid, unit) Hashtbl.t;
+  pass_limits : (Activermt.Packet.fid, int) Hashtbl.t;
+  mutable pending : pending option;
+  mutable log : Cost_model.breakdown list;
+}
+
+let create ?scheme ?policy ?(cost = Cost_model.default) ?(mode = `Auto)
+    ?(extraction_timeout_s = 1.0) device =
+  {
+    device;
+    tables = Activermt.Table.create device;
+    allocator = Allocator.create ?scheme ?policy (Rmt.Device.params device);
+    cost;
+    mode;
+    extraction_timeout_s;
+    snapshots = Hashtbl.create 32;
+    virtual_flags = Hashtbl.create 32;
+    privileged = Hashtbl.create 8;
+    pass_limits = Hashtbl.create 8;
+    pending = None;
+    log = [];
+  }
+
+let tables t = t.tables
+let allocator t = t.allocator
+let device t = t.device
+
+let words_per_block t = Rmt.Params.words_per_block (Rmt.Device.params t.device)
+
+let take_snapshot t ~fid =
+  match Activermt.Table.regions_of t.tables ~fid with
+  | None -> 0
+  | Some regions ->
+    let wpb = words_per_block t in
+    let snaps = ref [] in
+    let words = ref 0 in
+    Array.iteri
+      (fun stage reg ->
+        match reg with
+        | None -> ()
+        | Some { Activermt.Packet.start_word; n_words } ->
+          let st = Rmt.Device.stage t.device stage in
+          let data =
+            Rmt.Register_array.snapshot_range st.Rmt.Device.regs ~lo:start_word
+              ~hi:(start_word + n_words - 1)
+          in
+          words := !words + n_words;
+          snaps :=
+            ( stage,
+              { Pool.first_block = start_word / wpb; n_blocks = n_words / wpb },
+              data )
+            :: !snaps)
+      regions;
+    Hashtbl.replace t.snapshots fid (List.rev !snaps);
+    !words
+
+let zero_regions t ~fid =
+  match Activermt.Table.regions_of t.tables ~fid with
+  | None -> ()
+  | Some regions ->
+    Array.iteri
+      (fun stage reg ->
+        match reg with
+        | None -> ()
+        | Some { Activermt.Packet.start_word; n_words } ->
+          let st = Rmt.Device.stage t.device stage in
+          Rmt.Register_array.zero_range st.Rmt.Device.regs ~lo:start_word
+            ~hi:(start_word + n_words - 1))
+      regions
+
+(* Install (or re-install) an app's tables from the allocator's current
+   placement.  The allocator's TCAM headroom estimate is conservative, so
+   installation cannot fail; an error here is an internal invariant
+   violation. *)
+let install_current t ~fid ~virtual_addressing =
+  Activermt.Table.remove t.tables ~fid;
+  match Allocator.regions_response t.allocator ~fid with
+  | None -> ()
+  | Some regions -> (
+    match
+      Activermt.Table.install t.tables ~fid ~virtual_addressing
+        ~privileged:(Hashtbl.mem t.privileged fid)
+        ?max_passes:(Hashtbl.find_opt t.pass_limits fid)
+        ~regions
+    with
+    | Ok () -> ()
+    | Error (`Tcam_capacity s) ->
+      failwith (Printf.sprintf "Controller: TCAM overflow at stage %d" s)
+    | Error `Already_installed -> assert false)
+
+let copy_snapshot_to_new_region t ~fid =
+  match (Hashtbl.find_opt t.snapshots fid, Activermt.Table.regions_of t.tables ~fid) with
+  | None, _ | _, None -> ()
+  | Some snaps, Some new_regions ->
+    List.iter
+      (fun (stage, _old_range, data) ->
+        match new_regions.(stage) with
+        | None -> ()
+        | Some { Activermt.Packet.start_word; n_words } ->
+          let st = Rmt.Device.stage t.device stage in
+          let copy_len = min n_words (Array.length data) in
+          Rmt.Register_array.restore_range st.Rmt.Device.regs ~lo:start_word
+            (Array.sub data 0 copy_len))
+      snaps
+
+let virtual_of t fid =
+  Option.value ~default:true (Hashtbl.find_opt t.virtual_flags fid)
+
+let commit_app t ~fid =
+  install_current t ~fid ~virtual_addressing:(virtual_of t fid);
+  Activermt.Table.unquiesce t.tables ~fid
+
+let commit_new_app t ~fid =
+  install_current t ~fid ~virtual_addressing:(virtual_of t fid);
+  zero_regions t ~fid;
+  Activermt.Table.unquiesce t.tables ~fid
+
+let response_packet t ~fid ~flags ~granted =
+  let n = (Rmt.Device.params t.device).Rmt.Params.logical_stages in
+  let regions =
+    if granted then
+      Option.value
+        ~default:(Array.make n None)
+        (Allocator.regions_response t.allocator ~fid)
+    else Array.make n None
+  in
+  {
+    Activermt.Packet.fid;
+    seq = 0;
+    flags;
+    payload =
+      Activermt.Packet.Response
+        {
+          status = (if granted then Activermt.Packet.Granted else Activermt.Packet.Rejected);
+          regions;
+        };
+  }
+
+(* Operator-facing policy knobs (Section 7.2): privilege is never taken
+   from the packet, only from switch-side configuration. *)
+let grant_privilege t ~fid =
+  Hashtbl.replace t.privileged fid ();
+  if Activermt.Table.installed t.tables ~fid then
+    install_current t ~fid ~virtual_addressing:(virtual_of t fid)
+
+let revoke_privilege t ~fid =
+  Hashtbl.remove t.privileged fid;
+  if Activermt.Table.installed t.tables ~fid then
+    install_current t ~fid ~virtual_addressing:(virtual_of t fid)
+
+let limit_recirculation t ~fid ~max_passes =
+  if max_passes <= 0 then invalid_arg "Controller.limit_recirculation";
+  Hashtbl.replace t.pass_limits fid max_passes;
+  if Activermt.Table.installed t.tables ~fid then
+    install_current t ~fid ~virtual_addressing:(virtual_of t fid)
+
+let regions_packet t ~fid =
+  if Allocator.is_resident t.allocator ~fid then
+    Some
+      (response_packet t ~fid
+         ~flags:
+           {
+             Activermt.Packet.no_flags with
+             virtual_addressing = virtual_of t fid;
+           }
+         ~granted:true)
+  else None
+
+let handle_request t (pkt : Activermt.Packet.t) =
+  match pkt.Activermt.Packet.payload with
+  | Activermt.Packet.Response _ | Activermt.Packet.Exec _ | Activermt.Packet.Bare ->
+    Error (`Bad_packet "not an allocation request")
+  | Activermt.Packet.Request req ->
+    let fid = pkt.Activermt.Packet.fid in
+    let flags = pkt.Activermt.Packet.flags in
+    let spec = Spec.of_request req in
+    let demand_blocks =
+      Array.of_list
+        (List.map
+           (fun a -> max 1 a.Activermt.Packet.demand_blocks)
+           req.Activermt.Packet.accesses)
+    in
+    let arrival =
+      {
+        Allocator.fid;
+        spec;
+        elastic = flags.Activermt.Packet.elastic;
+        demand_blocks;
+      }
+    in
+    (match Allocator.admit t.allocator arrival with
+    | Allocator.Rejected r ->
+      let timing =
+        Cost_model.breakdown t.cost ~allocation_s:r.Allocator.compute_time_s
+          ~entries_updated:0 ~apps_touched:0 ~words_snapshotted:0 ~notifications:1
+      in
+      t.log <- timing :: t.log;
+      Error (`Rejected r)
+    | Allocator.Admitted adm ->
+      Hashtbl.replace t.virtual_flags fid flags.Activermt.Packet.virtual_addressing;
+      let realloc_fids = List.map fst adm.Allocator.reallocated in
+      let words = List.fold_left (fun acc f -> acc + take_snapshot t ~fid:f) 0 realloc_fids in
+      Activermt.Table.reset_update_stats t.tables;
+      let phase =
+        match (t.mode, realloc_fids) with
+        | `Auto, _ | `Interactive, [] ->
+          List.iter
+            (fun f -> commit_app t ~fid:f)
+            realloc_fids;
+          commit_new_app t ~fid;
+          (match t.mode with
+          | `Auto -> List.iter (fun f -> copy_snapshot_to_new_region t ~fid:f) realloc_fids
+          | `Interactive -> ());
+          Committed
+        | `Interactive, impacted ->
+          List.iter (fun f -> Activermt.Table.quiesce t.tables ~fid:f) impacted;
+          Activermt.Table.quiesce t.tables ~fid;
+          t.pending <-
+            Some { new_fid = fid; waiting = impacted; deadline_s = t.extraction_timeout_s };
+          Awaiting_extraction { impacted }
+      in
+      let stats = Activermt.Table.update_stats t.tables in
+      (* In interactive mode the table work happens at commit time, but we
+         still charge it to this provisioning event: estimate entries from
+         the reallocated set when deferred. *)
+      let entries =
+        match phase with
+        | Committed ->
+          stats.Activermt.Table.entries_added + stats.Activermt.Table.entries_removed
+        | Awaiting_extraction _ ->
+          let n = (Rmt.Device.params t.device).Rmt.Params.logical_stages in
+          2 * (n + 3) * (List.length realloc_fids + 1)
+      in
+      let timing =
+        Cost_model.breakdown t.cost ~allocation_s:adm.Allocator.compute_time_s
+          ~entries_updated:entries
+          ~apps_touched:(List.length realloc_fids + 1)
+          ~words_snapshotted:words
+          ~notifications:(List.length realloc_fids + 1)
+      in
+      t.log <- timing :: t.log;
+      Ok
+        {
+          fid;
+          response = response_packet t ~fid ~flags ~granted:true;
+          reallocated = realloc_fids;
+          phase;
+          timing;
+        })
+
+let finish_pending_if_done t =
+  match t.pending with
+  | Some p when p.waiting = [] ->
+    commit_new_app t ~fid:p.new_fid;
+    t.pending <- None
+  | Some _ | None -> ()
+
+let handle_departure t ~fid =
+  Activermt.Table.remove t.tables ~fid;
+  Hashtbl.remove t.snapshots fid;
+  (* A service departing mid-extraction no longer blocks the pending
+     admission. *)
+  (match t.pending with
+  | Some p when List.mem fid p.waiting ->
+    p.waiting <- List.filter (fun f -> f <> fid) p.waiting;
+    finish_pending_if_done t
+  | Some _ | None -> ());
+  Activermt.Table.reset_update_stats t.tables;
+  let t0 = Sys.time () in
+  let expanded = Allocator.depart t.allocator ~fid in
+  let alloc_s = Sys.time () -. t0 in
+  let expanded_fids = List.map fst expanded in
+  let words =
+    List.fold_left (fun acc f -> acc + take_snapshot t ~fid:f) 0 expanded_fids
+  in
+  List.iter
+    (fun f ->
+      install_current t ~fid:f ~virtual_addressing:(virtual_of t f);
+      if t.mode = `Auto then copy_snapshot_to_new_region t ~fid:f)
+    expanded_fids;
+  let stats = Activermt.Table.update_stats t.tables in
+  let timing =
+    Cost_model.breakdown t.cost ~allocation_s:alloc_s
+      ~entries_updated:(stats.Activermt.Table.entries_added + stats.Activermt.Table.entries_removed)
+      ~apps_touched:(List.length expanded_fids + 1)
+      ~words_snapshotted:words
+      ~notifications:(List.length expanded_fids)
+  in
+  t.log <- timing :: t.log;
+  (timing, expanded_fids)
+
+let complete_extraction t ~fid =
+  match t.pending with
+  | None -> ()
+  | Some p ->
+    if List.mem fid p.waiting then begin
+      p.waiting <- List.filter (fun f -> f <> fid) p.waiting;
+      commit_app t ~fid;
+      finish_pending_if_done t
+    end
+
+let pending_extraction t =
+  match t.pending with None -> [] | Some p -> p.waiting
+
+let expire t ~elapsed_s =
+  match t.pending with
+  | None -> ()
+  | Some p ->
+    p.deadline_s <- p.deadline_s -. elapsed_s;
+    if p.deadline_s <= 0.0 then begin
+      List.iter (fun f -> commit_app t ~fid:f) p.waiting;
+      p.waiting <- [];
+      finish_pending_if_done t
+    end
+
+let snapshot_of t ~fid =
+  Option.value ~default:[] (Hashtbl.find_opt t.snapshots fid)
+
+let read_region t ~fid ~stage =
+  match Activermt.Table.regions_of t.tables ~fid with
+  | None -> None
+  | Some regions -> (
+    match regions.(stage) with
+    | None -> None
+    | Some { Activermt.Packet.start_word; n_words } ->
+      let st = Rmt.Device.stage t.device stage in
+      Some
+        (Rmt.Register_array.snapshot_range st.Rmt.Device.regs ~lo:start_word
+           ~hi:(start_word + n_words - 1)))
+
+let write_region_word t ~fid ~stage ~index ~value =
+  match Activermt.Table.regions_of t.tables ~fid with
+  | None -> false
+  | Some regions -> (
+    match regions.(stage) with
+    | None -> false
+    | Some { Activermt.Packet.start_word; n_words } ->
+      if index < 0 || index >= n_words then false
+      else begin
+        let st = Rmt.Device.stage t.device stage in
+        Rmt.Register_array.set st.Rmt.Device.regs (start_word + index) value;
+        true
+      end)
+
+let provision_log t = List.rev t.log

@@ -1,0 +1,107 @@
+open Import
+
+(** The switch controller (Section 4.3).
+
+    Runs on the switch CPU: serializes allocation requests arriving as
+    data-plane digests, invokes the online allocator, installs/removes
+    match-table entries and protection ranges, takes consistent snapshots
+    of reallocated regions, quiesces impacted services during migration,
+    and answers clients with allocation-response packets.
+
+    Two commit modes:
+    - [`Auto]: the whole admission (snapshot, table update, state copy)
+      completes synchronously; reallocated apps' old contents are copied
+      into their new regions by the control plane.  Used by the allocator
+      benchmarks.
+    - [`Interactive]: after computing an allocation the controller
+      notifies impacted apps and leaves old tables in place so clients can
+      extract state through the data plane; [complete_extraction] (or a
+      timeout via [expire]) then applies the new tables and reactivates.
+      Used by the end-to-end case study (Figures 9, 10). *)
+
+type commit_mode = [ `Auto | `Interactive ]
+
+type provision_phase =
+  | Committed  (** tables updated; service may transmit *)
+  | Awaiting_extraction of { impacted : Activermt.Packet.fid list }
+      (** interactive mode: impacted apps must extract state and ack *)
+
+type provision = {
+  fid : Activermt.Packet.fid;
+  response : Activermt.Packet.t;  (** allocation response for the client *)
+  reallocated : Activermt.Packet.fid list;
+  phase : provision_phase;
+  timing : Cost_model.breakdown;
+}
+
+type t
+
+val create :
+  ?scheme:Allocator.scheme ->
+  ?policy:Mutant.policy ->
+  ?cost:Cost_model.t ->
+  ?mode:commit_mode ->
+  ?extraction_timeout_s:float ->
+  Rmt.Device.t ->
+  t
+
+val tables : t -> Activermt.Table.t
+val allocator : t -> Allocator.t
+val device : t -> Rmt.Device.t
+
+val handle_request :
+  t -> Activermt.Packet.t -> (provision, [ `Rejected of Allocator.rejected | `Bad_packet of string ]) result
+(** Process one allocation-request packet (admission is serialized; this
+    is the digest path).  On success the new app's tables are installed
+    (its region zeroed) and, depending on mode, reallocated apps are
+    either migrated immediately or left awaiting extraction. *)
+
+val handle_departure : t -> fid:Activermt.Packet.fid -> Cost_model.breakdown * Activermt.Packet.fid list
+(** Release a service's allocation; returns timing and the apps expanded
+    (reallocated) into the freed space. *)
+
+val complete_extraction : t -> fid:Activermt.Packet.fid -> unit
+(** Client signals (bare active packet with ack) that it finished
+    extracting state; when all impacted apps of a pending admission have
+    acked, the new tables are applied and everyone is reactivated. *)
+
+val pending_extraction : t -> Activermt.Packet.fid list
+(** Apps the controller is still waiting on. *)
+
+val expire : t -> elapsed_s:float -> unit
+(** Advance the extraction timeout clock; unresponsive apps are forcibly
+    committed (Section 4.3's timeout). *)
+
+val grant_privilege : t -> fid:Activermt.Packet.fid -> unit
+(** Mark the FID as a curated, privileged service (Section 7.2): its
+    programs may execute FORK and SET_DST.  Privilege is switch-side
+    configuration, never taken from packets.  Takes effect immediately,
+    re-installing tables if the FID is resident. *)
+
+val revoke_privilege : t -> fid:Activermt.Packet.fid -> unit
+
+val limit_recirculation : t -> fid:Activermt.Packet.fid -> max_passes:int -> unit
+(** Cap the FID's pipeline passes below the device recirculation limit —
+    the bandwidth-inflation rate limiting Section 7.2 contemplates.
+    @raise Invalid_argument if [max_passes] is not positive. *)
+
+val regions_packet :
+  t -> fid:Activermt.Packet.fid -> Activermt.Packet.t option
+(** A granted-style allocation response describing the FID's *current*
+    regions; used to inform reallocated clients of their new placement.
+    [None] if the FID is not resident. *)
+
+val snapshot_of :
+  t -> fid:Activermt.Packet.fid -> (int * Pool.range * int array) list
+(** Consistent snapshot (stage, old block range, words) taken for the FID
+    at its last reallocation; [] if none. *)
+
+val read_region : t -> fid:Activermt.Packet.fid -> stage:int -> int array option
+(** Control-plane (BFRT-style) read of the app's current region. *)
+
+val write_region_word :
+  t -> fid:Activermt.Packet.fid -> stage:int -> index:int -> value:int -> bool
+(** Control-plane write of one word, region-relative; false if no region. *)
+
+val provision_log : t -> Cost_model.breakdown list
+(** Breakdown of every provisioning event so far, oldest first. *)

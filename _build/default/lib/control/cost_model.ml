@@ -1,0 +1,38 @@
+type t = {
+  table_entry_update_s : float;
+  app_install_s : float;
+  snapshot_word_s : float;
+  notify_rtt_s : float;
+  digest_s : float;
+}
+
+let default =
+  {
+    table_entry_update_s = 2.5e-4;
+    app_install_s = 2.0e-2;
+    snapshot_word_s = 1.0e-7;
+    notify_rtt_s = 2.0e-4;
+    digest_s = 1.0e-4;
+  }
+
+let p4_compile_s = 28.79
+let p4_reprovision_blackout_s = 0.05
+
+type breakdown = {
+  allocation_s : float;
+  table_update_s : float;
+  snapshot_s : float;
+  notify_s : float;
+}
+
+let total b = b.allocation_s +. b.table_update_s +. b.snapshot_s +. b.notify_s
+
+let breakdown t ~allocation_s ~entries_updated ~apps_touched ~words_snapshotted ~notifications =
+  {
+    allocation_s;
+    table_update_s =
+      (float_of_int entries_updated *. t.table_entry_update_s)
+      +. (float_of_int apps_touched *. t.app_install_s);
+    snapshot_s = float_of_int words_snapshotted *. t.snapshot_word_s;
+    notify_s = t.digest_s +. (float_of_int notifications *. t.notify_rtt_s);
+  }

@@ -1,0 +1,47 @@
+(** Provisioning-time cost model (Section 6.2 / Figure 8a).
+
+    Allocation *computation* time is measured for real (our allocator
+    actually runs); everything a Tofino would spend outside that — BFRT
+    table-entry updates, register snapshots over the control plane, and
+    the client/controller notification round-trips — is modeled with
+    per-unit costs calibrated against the constants the paper reports:
+    provisioning levels off at slightly over one second, dominated by
+    table updates, while snapshotting stays comparatively small; a
+    comparable single-program P4 compile takes 28.79 s. *)
+
+type t = {
+  table_entry_update_s : float;  (** per entry added or removed *)
+  app_install_s : float;
+      (** fixed BFRT session/batch overhead per app whose tables are
+          (re)installed or removed *)
+  snapshot_word_s : float;  (** per 32-bit register word snapshotted *)
+  notify_rtt_s : float;  (** controller<->client notification round trip *)
+  digest_s : float;  (** data-plane digest to switch CPU per request *)
+}
+
+val default : t
+
+val p4_compile_s : float
+(** Measured compile time of the 22-instance monolithic cache program the
+    paper quotes for comparison (28.79 s). *)
+
+val p4_reprovision_blackout_s : float
+(** Traffic blackout of a conventional P4 re-provision, O(50 ms) [5]. *)
+
+type breakdown = {
+  allocation_s : float;  (** measured compute time *)
+  table_update_s : float;
+  snapshot_s : float;
+  notify_s : float;
+}
+
+val total : breakdown -> float
+
+val breakdown :
+  t ->
+  allocation_s:float ->
+  entries_updated:int ->
+  apps_touched:int ->
+  words_snapshotted:int ->
+  notifications:int ->
+  breakdown

@@ -1,0 +1,5 @@
+(* Short aliases for sibling libraries used by the controller. *)
+module Spec = Activermt_compiler.Spec
+module Mutant = Activermt_compiler.Mutant
+module Allocator = Activermt_alloc.Allocator
+module Pool = Activermt_alloc.Pool

@@ -1,0 +1,1 @@
+lib/core/packet.ml: Array Bytes Format List Program Wire

@@ -1,0 +1,1 @@
+lib/core/program.ml: Array Buffer Format Hashtbl Instr List Printf String

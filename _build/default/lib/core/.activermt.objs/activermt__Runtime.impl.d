@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Format Instr List Packet Program Rmt Table

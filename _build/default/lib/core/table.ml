@@ -1,0 +1,142 @@
+type entry = {
+  region : Packet.region option;
+  xmask : int;
+  xoffset : int;
+  virtual_addressing : bool;
+}
+
+type app_state = {
+  entries : entry array;  (* indexed by stage *)
+  handles : (int * Rmt.Tcam.handle) list;  (* (stage, protection range) *)
+  regions : Packet.region option array;
+  privileged : bool;
+  max_passes : int option;
+}
+
+type update_stats = { entries_added : int; entries_removed : int }
+
+type t = {
+  device : Rmt.Device.t;
+  apps : (Packet.fid, app_state) Hashtbl.t;
+  quiesced : (Packet.fid, unit) Hashtbl.t;
+  mutable added : int;
+  mutable removed : int;
+}
+
+let create device =
+  { device; apps = Hashtbl.create 64; quiesced = Hashtbl.create 8; added = 0; removed = 0 }
+
+let device t = t.device
+
+(* Largest power of two <= n, minus one: the ADDR_MASK constant for a
+   region of n words. *)
+let pow2_mask n =
+  if n <= 0 then 0
+  else begin
+    let rec go m = if m * 2 <= n then go (m * 2) else m in
+    go 1 - 1
+  end
+
+let install ?(privileged = false) ?max_passes t ~fid ~virtual_addressing ~regions =
+  if Hashtbl.mem t.apps fid then Error `Already_installed
+  else begin
+    let n = Rmt.Device.n_stages t.device in
+    if Array.length regions <> n then
+      invalid_arg "Table.install: regions array must have one slot per stage";
+    (* Translation constants at stage s describe the app's next
+       memory-access stage >= s (the compiler schedules ADDR_* right before
+       the access, but any earlier stage works too). *)
+    let next_region = Array.make n None in
+    let last = ref None in
+    for s = n - 1 downto 0 do
+      (match regions.(s) with Some r -> last := Some r | None -> ());
+      next_region.(s) <- !last
+    done;
+    let entry_of_stage s =
+      let xmask, xoffset =
+        match next_region.(s) with
+        | None -> (0, 0)
+        | Some r ->
+          ( pow2_mask r.Packet.n_words,
+            if virtual_addressing then 0 else r.Packet.start_word )
+      in
+      { region = regions.(s); xmask; xoffset; virtual_addressing }
+    in
+    let rec install_protection s acc =
+      if s >= n then Ok (List.rev acc)
+      else begin
+        match regions.(s) with
+        | None -> install_protection (s + 1) acc
+        | Some r ->
+          let stage = Rmt.Device.stage t.device s in
+          let lo = r.Packet.start_word and hi = r.Packet.start_word + r.Packet.n_words - 1 in
+          (match Rmt.Tcam.install_range stage.Rmt.Device.protection ~lo ~hi with
+          | Ok h -> install_protection (s + 1) ((s, h) :: acc)
+          | Error `Capacity ->
+            (* Roll back everything installed so far. *)
+            List.iter
+              (fun (s', h') ->
+                let st = Rmt.Device.stage t.device s' in
+                Rmt.Tcam.remove st.Rmt.Device.protection h')
+              acc;
+            Error (`Tcam_capacity s))
+      end
+    in
+    match install_protection 0 [] with
+    | Error _ as e -> e
+    | Ok handles ->
+      let entries = Array.init n entry_of_stage in
+      Hashtbl.replace t.apps fid
+        { entries; handles; regions = Array.copy regions; privileged; max_passes };
+      (* one FID-gating entry and one translation entry per stage,
+         plus the protection prefixes *)
+      t.added <- t.added + (2 * n) + List.length handles;
+      Ok ()
+  end
+
+let remove t ~fid =
+  match Hashtbl.find_opt t.apps fid with
+  | None -> ()
+  | Some app ->
+    List.iter
+      (fun (s, h) ->
+        let st = Rmt.Device.stage t.device s in
+        Rmt.Tcam.remove st.Rmt.Device.protection h)
+      app.handles;
+    t.removed <- t.removed + (2 * Array.length app.entries) + List.length app.handles;
+    Hashtbl.remove t.apps fid;
+    Hashtbl.remove t.quiesced fid
+
+let lookup t ~fid ~stage =
+  match Hashtbl.find_opt t.apps fid with
+  | None -> None
+  | Some app ->
+    if stage < 0 || stage >= Array.length app.entries then None
+    else Some app.entries.(stage)
+
+let installed t ~fid = Hashtbl.mem t.apps fid
+
+let regions_of t ~fid =
+  Option.map (fun app -> Array.copy app.regions) (Hashtbl.find_opt t.apps fid)
+
+let is_privileged t ~fid =
+  match Hashtbl.find_opt t.apps fid with
+  | Some app -> app.privileged
+  | None -> false
+
+let max_passes_of t ~fid =
+  match Hashtbl.find_opt t.apps fid with
+  | Some app -> app.max_passes
+  | None -> None
+
+let quiesce t ~fid = Hashtbl.replace t.quiesced fid ()
+let unquiesce t ~fid = Hashtbl.remove t.quiesced fid
+let is_quiesced t ~fid = Hashtbl.mem t.quiesced fid
+
+let update_stats t = { entries_added = t.added; entries_removed = t.removed }
+
+let reset_update_stats t =
+  t.added <- 0;
+  t.removed <- 0
+
+let fids t = Hashtbl.fold (fun fid _ acc -> fid :: acc) t.apps []

@@ -1,0 +1,24 @@
+(** Wire encoding of instruction headers.
+
+    Each instruction header is two bytes (Section 3.3): a one-byte opcode
+    and a one-byte flag.  The flag byte carries
+    - bit 0: the "executed" mark the switch sets so the parser can discard
+      the field on the way out (packets shrink after execution);
+    - bits 1-3: the instruction's own label plus one (0 = unlabelled);
+    - bits 4-6: the branch target for CJUMP/CJUMPI/UJUMP. *)
+
+type decoded = { line : Program.line; executed : bool }
+
+val encode : ?executed:bool -> Program.line -> int * int
+(** [(opcode_byte, flag_byte)], both in 0..255. *)
+
+val decode : opcode:int -> flag:int -> (decoded, string) result
+
+val encode_program : Program.t -> Bytes.t
+(** Instruction headers for every line plus a terminating EOF header. *)
+
+val decode_program :
+  ?name:string -> Bytes.t -> off:int -> (Program.t * bool array * int, string) result
+(** Decode headers starting at [off] up to and including EOF.  Returns the
+    program (EOF stripped), the per-line executed marks, and the offset
+    one past the EOF header. *)

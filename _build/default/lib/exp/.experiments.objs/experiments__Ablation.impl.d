@@ -1,0 +1,1 @@
+lib/exp/ablation.ml: Activermt Activermt_client Allocator Churn Controller Harness Heavy_hitter Import Kv List Mutant Option Report Rmt Stats

@@ -1,0 +1,1 @@
+lib/exp/baseline.ml: Activermt_alloc Activermt_client Allocator App Array Churn Controller Cost_model Float Harness Import List Printf Prng Report Rmt

@@ -1,0 +1,1 @@
+lib/exp/capacity.ml: List Report Rmt

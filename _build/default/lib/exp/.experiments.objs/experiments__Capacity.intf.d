@@ -1,0 +1,1 @@
+lib/exp/capacity.mli: Rmt

@@ -1,0 +1,1 @@
+lib/exp/case_study.ml: Activermt Activermt_client Allocator Array Cache Controller Hashtbl Heavy_hitter Import Kv List Mutant Netsim Printf Prng Report Rmt String Zipf

@@ -1,0 +1,1 @@
+lib/exp/case_study.mli: Rmt

@@ -1,0 +1,1 @@
+lib/exp/extended.ml: Allocator Array Churn Harness Hashtbl Import List Option Printf Prng Report Rmt Stats

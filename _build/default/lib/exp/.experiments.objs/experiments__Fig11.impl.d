@@ -1,0 +1,1 @@
+lib/exp/fig11.ml: Allocator Churn Harness Import List Printf Prng Report Stats

@@ -1,0 +1,1 @@
+lib/exp/fig12.ml: Churn Harness Import List Mutant Printf Prng Report Rmt

@@ -1,0 +1,1 @@
+lib/exp/fig5.ml: Array Churn Ewma Harness Import List Mutant Printf Prng Report Stats

@@ -1,0 +1,1 @@
+lib/exp/fig5.mli: Activermt_compiler Rmt Workload

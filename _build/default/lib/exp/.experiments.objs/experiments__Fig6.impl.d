@@ -1,0 +1,1 @@
+lib/exp/fig6.ml: Churn Fig5 Harness Import List Printf Report

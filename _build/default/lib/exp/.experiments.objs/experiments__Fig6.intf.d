@@ -1,0 +1,1 @@
+lib/exp/fig6.mli: Rmt

@@ -1,0 +1,1 @@
+lib/exp/fig7.ml: Array Churn Ewma Fig5 Harness Import List Printf Prng Report Stats

@@ -1,0 +1,1 @@
+lib/exp/fig7.mli: Rmt

@@ -1,0 +1,1 @@
+lib/exp/fig8.ml: Activermt Activermt_client App Churn Controller Cost_model Float Harness Import List Printf Prng Report Rmt Spec Stats

@@ -1,0 +1,1 @@
+lib/exp/fig8.mli: Rmt

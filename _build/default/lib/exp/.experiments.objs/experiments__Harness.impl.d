@@ -1,0 +1,1 @@
+lib/exp/harness.ml: Activermt_apps Allocator App Array Cache Cheetah_lb Churn Hashtbl Heavy_hitter Import List Rmt Stats

@@ -1,0 +1,1 @@
+lib/exp/harness.mli: Allocator App Churn Import Mutant Rmt

@@ -1,0 +1,1 @@
+lib/exp/import.ml: Activermt_alloc Activermt_apps Activermt_compiler Activermt_control Stdx Workload

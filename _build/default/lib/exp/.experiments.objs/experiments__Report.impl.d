@@ -1,0 +1,1 @@
+lib/exp/report.ml: List Printf String

@@ -1,0 +1,18 @@
+(** Ablations of the reproduction's own design knobs (DESIGN.md):
+
+    - the mutant-enumeration cap: the systematic search is subsampled to a
+      fixed candidate budget; this sweep shows how the budget trades
+      allocation time against placement quality (admitted instances);
+    - per-stage TCAM capacity: protection ranges are the admission
+      bottleneck the paper calls out; this sweep shows concurrent cache
+      capacity scaling with TCAM size;
+    - allocation-granularity interaction with the heavy hitter's fixed
+      byte demand (complements Figure 12). *)
+
+val run_mutant_limit : ?n:int -> ?limits:int list -> Rmt.Params.t -> unit
+val run_tcam : ?n:int -> ?capacities:int list -> Rmt.Params.t -> unit
+
+val run_bandwidth : ?n:int -> Rmt.Params.t -> unit
+(** A3: the bandwidth price of least-constrained placement — mean pipeline
+    passes (and port recirculations) per cache query across co-resident
+    instances under each policy. *)

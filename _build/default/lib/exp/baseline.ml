@@ -1,0 +1,114 @@
+open Import
+module Netvrm = Activermt_alloc.Netvrm
+
+let kind_name = Churn.kind_to_string
+
+(* Per-stage block demand of an instance under each system: ActiveRMT
+   places per stage; the NetVRM-style baseline charges the app's largest
+   per-stage demand against every stage (coarse-grained). *)
+let netvrm_demand kind =
+  let app = Harness.app_of_kind kind in
+  Array.fold_left max 1 app.App.demand_blocks
+
+let run_netvrm ?(n = 400) params =
+  Report.figure ~id:"Baseline B1"
+    ~title:"ActiveRMT allocator vs. NetVRM-style baseline (mixed arrivals)";
+  let rng = Prng.create ~seed:515 in
+  let trace = Churn.mixed_arrivals ~n rng in
+  (* ActiveRMT side. *)
+  let alloc = Allocator.create params in
+  let armt_admitted = ref 0 in
+  (* NetVRM side. *)
+  let netvrm = Netvrm.create params in
+  let net_admitted = ref 0 in
+  let net_rejected_cap = ref 0 in
+  List.iter
+    (fun (e : Churn.epoch) ->
+      List.iter
+        (fun ev ->
+          match ev with
+          | Churn.Depart _ -> ()
+          | Churn.Arrive { fid; kind } -> (
+            (match
+               Allocator.admit alloc
+                 (Harness.arrival_of ~fid kind
+                    ~block_bytes:(Rmt.Params.bytes_per_block params))
+             with
+            | Allocator.Admitted _ -> incr armt_admitted
+            | Allocator.Rejected _ -> ());
+            match
+              Netvrm.admit netvrm ~fid ~app_type:(kind_name kind)
+                ~demand_blocks:(netvrm_demand kind)
+            with
+            | Netvrm.Granted _ -> incr net_admitted
+            | Netvrm.Rejected_capacity -> incr net_rejected_cap
+            | Netvrm.Rejected_unregistered -> ()))
+        e.Churn.events)
+    trace;
+  Report.columns
+    [ "system"; "admitted"; "useful_utilization"; "frag_blocks/stage" ];
+  Report.row
+    [
+      "ActiveRMT";
+      Report.int_cell !armt_admitted;
+      Report.float_cell (Allocator.utilization alloc);
+      "0";
+    ];
+  Report.row
+    [
+      "NetVRM-style";
+      Report.int_cell !net_admitted;
+      Report.float_cell (Netvrm.utilization netvrm);
+      Report.int_cell (Netvrm.waste_blocks netvrm);
+    ];
+  Report.summary
+    [
+      ("arrivals", Report.int_cell n);
+      ( "netvrm gross utilization (incl. fragmentation)",
+        Report.float_cell (Netvrm.gross_utilization netvrm) );
+      ( "concurrency advantage",
+        Printf.sprintf "%.1fx"
+          (float_of_int !armt_admitted /. float_of_int (max 1 !net_admitted)) );
+    ]
+
+let run_deployment ?(changes = 50) params =
+  Report.figure ~id:"Baseline B2"
+    ~title:"cumulative deployment time: ActiveRMT vs. monolithic P4 recompiles";
+  let device = Rmt.Device.create params in
+  let controller = Controller.create device in
+  let rng = Prng.create ~seed:616 in
+  let armt_total = ref 0.0 in
+  let armt_disruption = ref 0.0 in
+  let deployed = ref 0 in
+  for fid = 1 to changes do
+    let kind = Prng.choose rng Churn.all_kinds in
+    let app = Harness.app_of_kind kind in
+    match
+      Controller.handle_request controller
+        (Activermt_client.Negotiate.request_packet ~fid ~seq:0 app)
+    with
+    | Ok prov ->
+      incr deployed;
+      armt_total := !armt_total +. Cost_model.total prov.Controller.timing;
+      (* Only reallocated services pause, and only for their snapshot. *)
+      armt_disruption :=
+        !armt_disruption
+        +. (float_of_int (List.length prov.Controller.reallocated)
+           *. prov.Controller.timing.Cost_model.snapshot_s)
+    | Error _ -> ()
+  done;
+  (* The P4 model recompiles the composite image and re-provisions the
+     switch on every change, blacking out all traffic each time. *)
+  let p4_total = float_of_int changes *. Cost_model.p4_compile_s in
+  let p4_disruption = float_of_int changes *. Cost_model.p4_reprovision_blackout_s in
+  Report.columns [ "model"; "deploy_total_s"; "traffic_blackout_s" ];
+  Report.row
+    [ "ActiveRMT"; Report.float_cell !armt_total; Report.float_cell !armt_disruption ];
+  Report.row [ "monolithic P4"; Report.float_cell p4_total; Report.float_cell p4_disruption ];
+  Report.summary
+    [
+      ("service changes", Report.int_cell changes);
+      ("activermt deployed", Report.int_cell !deployed);
+      ( "speedup",
+        Printf.sprintf "%.0fx" (p4_total /. Float.max 1e-9 !armt_total) );
+    ]

@@ -1,0 +1,16 @@
+(** Baseline comparisons the paper argues against.
+
+    B1 — allocator vs. a NetVRM-style baseline (Sections 2.3/5): same
+    arrival mix, comparing admitted instances, useful utilization and
+    internal fragmentation.  ActiveRMT wins through per-stage placement,
+    arbitrary region sizes and the absence of virtualization overhead.
+
+    B2 — deployment model vs. monolithic P4 (Sections 1/6.2): cumulative
+    time to deploy a sequence of service changes, and the traffic
+    blackout each model inflicts.  ActiveRMT provisions in roughly a
+    second per service without disturbing others; P4 recompiles the
+    composite image (28.79 s measured by the paper) and re-provisions
+    with an O(50 ms) blackout for *all* traffic on every change. *)
+
+val run_netvrm : ?n:int -> Rmt.Params.t -> unit
+val run_deployment : ?changes:int -> Rmt.Params.t -> unit

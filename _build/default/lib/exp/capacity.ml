@@ -1,0 +1,41 @@
+let run params =
+  Report.figure ~id:"Section 5"
+    ~title:"resource overheads and concurrency (static model)";
+  let b = Rmt.Resource.default_budget in
+  Report.columns [ "system"; "stage resources available" ];
+  Report.row
+    [ "ActiveRMT runtime"; Report.float_cell (Rmt.Resource.activermt_stage_availability b) ];
+  Report.row
+    [
+      "native P4 cache";
+      Report.float_cell
+        (Rmt.Resource.native_cache_availability b
+           ~n_stages:params.Rmt.Params.logical_stages);
+    ];
+  Report.row [ "NetVRM"; Report.float_cell Rmt.Resource.netvrm_availability ];
+  Report.blank ();
+  Report.columns [ "deployment"; "concurrent 2-stage cache instances" ];
+  Report.row
+    [
+      "monolithic P4 image";
+      Report.int_cell (Rmt.Resource.monolithic_p4_capacity b ~stages_per_app:2);
+    ];
+  Report.row
+    [
+      "ActiveRMT (theoretical, 1-word regions)";
+      Report.int_cell (Rmt.Resource.activermt_theoretical_instances params);
+    ];
+  Report.blank ();
+  Report.columns [ "memory word width (bits)"; "max shared state variables (Section 7.1)" ];
+  List.iter
+    (fun w ->
+      Report.row
+        [ Report.int_cell w; Report.int_cell (Rmt.Resource.phv_state_variables w) ])
+    [ 16; 32; 64 ];
+  Report.summary
+    [
+      ( "TCAM per stage (entries)",
+        Report.int_cell params.Rmt.Params.tcam_entries_per_stage );
+      ( "paper reference points",
+        "83% availability; 92% native cache; <50% NetVRM; 22 monolithic instances; 94K theoretical" );
+    ]

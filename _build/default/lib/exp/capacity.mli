@@ -1,0 +1,7 @@
+(** Section 5's resource-overhead comparison, regenerated from the static
+    model: per-stage resource availability for ActiveRMT vs. a native P4
+    cache vs. NetVRM, and the concurrency comparison of a monolithic P4
+    image (22 isolated 2-stage cache instances) against ActiveRMT's
+    virtualized instances. *)
+
+val run : Rmt.Params.t -> unit

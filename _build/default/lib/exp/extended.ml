@@ -1,0 +1,49 @@
+open Import
+
+let run ?(epochs = 300) ?(trials = 5) params =
+  Report.figure ~id:"Extended E1"
+    ~title:"online churn over five service types (per-kind admission, utilization)";
+  let kinds = Array.to_list Churn.extended_kinds in
+  let admitted = Hashtbl.create 8 in
+  let offered = Hashtbl.create 8 in
+  let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  let finals = ref [] in
+  for trial = 1 to trials do
+    let rng = Prng.create ~seed:(21_000 + trial) in
+    let trace = Churn.generate Churn.extended_config ~epochs rng in
+    let alloc = Allocator.create params in
+    let block_bytes = Rmt.Params.bytes_per_block params in
+    List.iter
+      (fun (e : Churn.epoch) ->
+        List.iter
+          (fun ev ->
+            match ev with
+            | Churn.Depart { fid } -> ignore (Allocator.depart alloc ~fid)
+            | Churn.Arrive { fid; kind } -> (
+              bump offered kind;
+              match Allocator.admit alloc (Harness.arrival_of ~fid kind ~block_bytes) with
+              | Allocator.Admitted _ -> bump admitted kind
+              | Allocator.Rejected _ -> ()))
+          e.Churn.events)
+      trace;
+    finals := Allocator.utilization alloc :: !finals
+  done;
+  Report.columns [ "kind"; "offered"; "admitted"; "admission_rate" ];
+  List.iter
+    (fun kind ->
+      let o = Option.value ~default:0 (Hashtbl.find_opt offered kind) in
+      let a = Option.value ~default:0 (Hashtbl.find_opt admitted kind) in
+      Report.row
+        [
+          Churn.kind_to_string kind;
+          Report.int_cell o;
+          Report.int_cell a;
+          Report.float_cell (float_of_int a /. float_of_int (max 1 o));
+        ])
+    kinds;
+  Report.summary
+    [
+      ( "final utilization (mean over trials)",
+        Report.float_cell (Stats.mean !finals) );
+      ("epochs x trials", Printf.sprintf "%d x %d" epochs trials);
+    ]

@@ -1,0 +1,7 @@
+(** Beyond-paper experiment E1: the online churn workload widened to five
+    service types — the paper's three plus this repo's flow counter and
+    Bloom filter — exercising the allocator against a more diverse demand
+    mix (two elastic families sharing pools with three inelastic
+    footprints) than the evaluation's fixed trio. *)
+
+val run : ?epochs:int -> ?trials:int -> Rmt.Params.t -> unit

@@ -1,0 +1,59 @@
+open Import
+
+let schemes =
+  [
+    (Allocator.Worst_fit, "wf");
+    (Allocator.First_fit, "ff");
+    (Allocator.Best_fit, "bf");
+    (Allocator.Min_realloc, "realloc");
+  ]
+
+let run ?(epochs = 100) ?(trials = 10) params =
+  Report.figure ~id:"Figure 11"
+    ~title:"allocation schemes: utilization / reallocated% / fairness / failure% (boxplots)";
+  let box label xs =
+    if xs = [] then Report.row [ label; "n/a" ]
+    else begin
+      let b = Stats.boxplot xs in
+      Report.row
+        [
+          label;
+          Report.float_cell b.Stats.whisker_lo;
+          Report.float_cell b.Stats.q1;
+          Report.float_cell b.Stats.q2;
+          Report.float_cell b.Stats.q3;
+          Report.float_cell b.Stats.whisker_hi;
+        ]
+    end
+  in
+  List.iter
+    (fun (scheme, sname) ->
+      let util = ref [] and refrac = ref [] and fair = ref [] and failr = ref [] in
+      for trial = 1 to trials do
+        let rng = Prng.create ~seed:(11000 + trial) in
+        let trace = Churn.generate Churn.default_config ~epochs rng in
+        let result = Harness.run ~scheme ~params trace in
+        List.iter
+          (fun e ->
+            util := e.Harness.utilization :: !util;
+            if e.Harness.cache_residents > 0 then
+              refrac :=
+                (100.0
+                *. float_of_int e.Harness.cache_reallocated
+                /. float_of_int e.Harness.cache_residents)
+                :: !refrac;
+            fair := e.Harness.fairness :: !fair;
+            if e.Harness.arrivals > 0 then
+              failr :=
+                (100.0 *. float_of_int e.Harness.failed
+                /. float_of_int e.Harness.arrivals)
+                :: !failr)
+          result.Harness.epochs
+      done;
+      Printf.printf "\n- scheme %s\n" sname;
+      Report.columns [ "metric"; "lo"; "q1"; "median"; "q3"; "hi" ];
+      box "utilization" !util;
+      box "reallocated_pct" !refrac;
+      box "fairness" !fair;
+      box "failure_pct" !failr)
+    schemes

@@ -1,0 +1,9 @@
+(** Figure 11: allocation-scheme comparison (worst-fit, first-fit,
+    best-fit, min-realloc) over 100 epochs of online churn, 10 trials:
+    boxplot statistics of per-epoch utilization, percentage of elastic
+    (cache) instances reallocated, Jain fairness, and allocation failure
+    rate.  The paper's conclusion: worst-fit and min-realloc are
+    competitive on utilization/reallocations, but worst-fit has a
+    dramatically lower failure rate. *)
+
+val run : ?epochs:int -> ?trials:int -> Rmt.Params.t -> unit

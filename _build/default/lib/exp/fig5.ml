@@ -1,0 +1,96 @@
+open Import
+
+let policies = [ (Mutant.Most_constrained, "mc"); (Mutant.Least_constrained, "lc") ]
+
+let kinds =
+  [ (Churn.Cache, "cache"); (Churn.Heavy_hitter, "hh"); (Churn.Load_balancer, "lb") ]
+
+let run_5a ?(n = 500) ?(every = 10) params =
+  Report.figure ~id:"Figure 5a"
+    ~title:"allocation time, pure workloads (ms per arrival; adm=1 if admitted)";
+  List.iter
+    (fun (kind, kname) ->
+      List.iter
+        (fun (policy, pname) ->
+          let trace = Churn.arrivals_sequence kind ~n in
+          let result = Harness.run ~policy ~params trace in
+          let first_failure =
+            List.find_opt (fun e -> e.Harness.failed > 0) result.Harness.epochs
+          in
+          Printf.printf "\n- series %s/%s\n" kname pname;
+          Report.series ~every
+            ~columns:[ "epoch"; "alloc_ms"; "admitted" ]
+            (List.map
+               (fun e ->
+                 ( e.Harness.epoch,
+                   [
+                     Report.float_cell (1000.0 *. e.Harness.alloc_time_s);
+                     Report.int_cell e.Harness.admitted;
+                   ] ))
+               result.Harness.epochs);
+          Report.summary
+            [
+              ( "first placement failure",
+                match first_failure with
+                | Some e -> Printf.sprintf "epoch %d" e.Harness.epoch
+                | None -> "none within trace" );
+              ( "total admitted",
+                Report.int_cell
+                  (List.fold_left
+                     (fun acc e -> acc + e.Harness.admitted)
+                     0 result.Harness.epochs) );
+              ( "mean alloc time (ms, successful epochs)",
+                Report.float_cell
+                  (1000.0
+                  *. Stats.mean
+                       (List.filter_map
+                          (fun e ->
+                            if e.Harness.admitted > 0 then Some e.Harness.alloc_time_s
+                            else None)
+                          result.Harness.epochs)) );
+              ( "mean alloc time (ms, failed epochs)",
+                Report.float_cell
+                  (1000.0
+                  *. Stats.mean
+                       (List.filter_map
+                          (fun e ->
+                            if e.Harness.failed > 0 then Some e.Harness.alloc_time_s
+                            else None)
+                          result.Harness.epochs)) );
+            ])
+        policies)
+    kinds
+
+let run_5b ?(n = 500) ?(trials = 10) ?(every = 10) params =
+  Report.figure ~id:"Figure 5b"
+    ~title:"allocation time, mixed workload (10 trials; EWMA alpha=0.1)";
+  List.iter
+    (fun (policy, pname) ->
+      let per_epoch = Array.make n [] in
+      for trial = 1 to trials do
+        let rng = Prng.create ~seed:(3000 + trial) in
+        let trace = Churn.mixed_arrivals ~n rng in
+        let result = Harness.run ~policy ~params trace in
+        List.iter
+          (fun e ->
+            per_epoch.(e.Harness.epoch) <-
+              e.Harness.alloc_time_s :: per_epoch.(e.Harness.epoch))
+          result.Harness.epochs
+      done;
+      let ewma = Ewma.create ~alpha:0.1 in
+      Printf.printf "\n- series mixed/%s\n" pname;
+      Report.series ~every
+        ~columns:[ "epoch"; "mean_ms"; "min_ms"; "max_ms"; "ewma_ms" ]
+        (List.init n (fun i ->
+             let xs = per_epoch.(i) in
+             let mean = Stats.mean xs in
+             let s = Stats.summarize xs in
+             let e = Ewma.update ewma mean in
+             ( i,
+               [
+                 Report.float_cell (1000.0 *. mean);
+                 Report.float_cell (1000.0 *. s.Stats.min);
+                 Report.float_cell (1000.0 *. s.Stats.max);
+                 Report.float_cell (1000.0 *. e);
+               ] ))))
+    policies

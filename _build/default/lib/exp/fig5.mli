@@ -1,0 +1,15 @@
+(** Figure 5: control-plane allocation time.
+
+    (a) 500 sequential arrivals of each pure workload (cache,
+    heavy-hitter, load-balancer) under the most- and least-constrained
+    policies; allocation time collapses once placements start failing.
+    (b) mixed workload (kind uniform at random), 10 trials, per-arrival
+    times with an EWMA (alpha = 0.1). *)
+
+val policies : (Activermt_compiler.Mutant.policy * string) list
+(** (mc, lc) with their short labels, shared by the other figures. *)
+
+val kinds : (Workload.Churn.kind * string) list
+
+val run_5a : ?n:int -> ?every:int -> Rmt.Params.t -> unit
+val run_5b : ?n:int -> ?trials:int -> ?every:int -> Rmt.Params.t -> unit

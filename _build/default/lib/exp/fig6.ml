@@ -1,0 +1,36 @@
+open Import
+
+let run ?(n = 500) ?(every = 10) params =
+  Report.figure ~id:"Figure 6"
+    ~title:"memory utilization vs. arrivals, pure workloads";
+  List.iter
+    (fun (kind, kname) ->
+      List.iter
+        (fun (policy, pname) ->
+          let trace = Churn.arrivals_sequence kind ~n in
+          let result = Harness.run ~policy ~params trace in
+          let saturation =
+            (* First epoch within 1% of the final utilization. *)
+            List.find_opt
+              (fun e ->
+                e.Harness.utilization >= result.Harness.final_utilization -. 0.01)
+              result.Harness.epochs
+          in
+          Printf.printf "\n- series %s/%s\n" kname pname;
+          Report.series ~every
+            ~columns:[ "epoch"; "utilization" ]
+            (List.map
+               (fun e ->
+                 (e.Harness.epoch, [ Report.float_cell e.Harness.utilization ]))
+               result.Harness.epochs);
+          Report.summary
+            [
+              ("final utilization", Report.float_cell result.Harness.final_utilization);
+              ( "utilization saturates at epoch",
+                match saturation with
+                | Some e -> Report.int_cell e.Harness.epoch
+                | None -> "n/a" );
+              ("placement failures", Report.int_cell result.Harness.total_failures);
+            ])
+        Fig5.policies)
+    Fig5.kinds

@@ -1,0 +1,6 @@
+(** Figure 6: memory utilization versus arrivals for the pure workloads
+    under both allocation policies.  The cache saturates its reachable
+    stages within a handful of instances (elasticity); the load balancer
+    needs hundreds of instances and then stops admitting. *)
+
+val run : ?n:int -> ?every:int -> Rmt.Params.t -> unit

@@ -1,0 +1,14 @@
+(** Figure 8: latency overheads.
+
+    (a) Provisioning time per arrival under online churn: measured
+    allocation compute time plus the modeled table-update and snapshot
+    costs; table updates dominate and the total levels off at slightly
+    over one second — an order of magnitude below the measured 28.79 s
+    P4 compile of an equivalent monolithic program.
+
+    (b) Client-observed RTT for all-NOP active programs of 10/20/30
+    instructions (plus an echo baseline): each pipeline traversed adds
+    pass_latency_us (0.5 us). *)
+
+val run_8a : ?epochs:int -> ?every:int -> Rmt.Params.t -> unit
+val run_8b : ?packets:int -> Rmt.Params.t -> unit

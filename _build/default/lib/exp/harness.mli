@@ -1,0 +1,42 @@
+open Import
+
+(** Shared allocator-evaluation harness: replay an arrival/departure trace
+    against the online allocator and record the paper's per-epoch metrics
+    (Section 6.1). *)
+
+val app_of_kind : Churn.kind -> App.t
+
+val arrival_of : fid:int -> Churn.kind -> block_bytes:int -> Allocator.arrival
+(** Build the allocator arrival for a service instance.  Inelastic demands
+    are specified in default (1 KB) blocks; [block_bytes] rescales them so
+    byte demand stays constant when granularity changes (Figure 12). *)
+
+type epoch_stats = {
+  epoch : int;
+  arrivals : int;
+  admitted : int;
+  failed : int;
+  alloc_time_s : float;  (** summed admission compute time in the epoch *)
+  utilization : float;
+  residents : int;
+  cache_residents : int;
+  cache_reallocated : int;
+      (** distinct cache instances reallocated this epoch and still
+          resident at its end (the paper's per-instance reallocation
+          expectation, Figure 7c) *)
+  fairness : float;  (** Jain index over cache instances' total blocks *)
+}
+
+type run_result = {
+  epochs : epoch_stats list;
+  final_utilization : float;
+  total_failures : int;
+}
+
+val run :
+  ?scheme:Allocator.scheme ->
+  ?policy:Mutant.policy ->
+  params:Rmt.Params.t ->
+  Churn.epoch list ->
+  run_result
+(** Replay the trace on a fresh allocator. *)

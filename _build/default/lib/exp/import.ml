@@ -1,0 +1,18 @@
+(* Short aliases shared by the experiment drivers. *)
+module Spec = Activermt_compiler.Spec
+module Mutant = Activermt_compiler.Mutant
+module Allocator = Activermt_alloc.Allocator
+module Pool = Activermt_alloc.Pool
+module Controller = Activermt_control.Controller
+module Cost_model = Activermt_control.Cost_model
+module App = Activermt_apps.App
+module Cache = Activermt_apps.Cache
+module Heavy_hitter = Activermt_apps.Heavy_hitter
+module Cheetah_lb = Activermt_apps.Cheetah_lb
+module Memsync = Activermt_apps.Memsync
+module Churn = Workload.Churn
+module Zipf = Workload.Zipf
+module Kv = Workload.Kv
+module Prng = Stdx.Prng
+module Ewma = Stdx.Ewma
+module Stats = Stdx.Stats

@@ -1,0 +1,21 @@
+let figure ~id ~title =
+  Printf.printf "\n== %s: %s ==\n" id title
+
+let columns cols = print_endline ("# " ^ String.concat "\t" cols)
+let row cells = print_endline (String.concat "\t" cells)
+let float_cell v = Printf.sprintf "%.6g" v
+let int_cell = string_of_int
+
+let series ?(every = 1) ~columns:cols rows =
+  columns cols;
+  let n = List.length rows in
+  List.iteri
+    (fun i (idx, cells) ->
+      if i mod every = 0 || i = n - 1 then
+        row (string_of_int idx :: cells))
+    rows
+
+let summary kvs =
+  List.iter (fun (k, v) -> Printf.printf "-- %s: %s\n" k v) kvs
+
+let blank () = print_newline ()

@@ -1,0 +1,23 @@
+(** Uniform printing of regenerated figures: a header naming the paper
+    figure, tab-separated data rows (decimated for long series), and a
+    summary block EXPERIMENTS.md quotes. *)
+
+val figure : id:string -> title:string -> unit
+(** Print the figure header. *)
+
+val columns : string list -> unit
+
+val row : string list -> unit
+
+val float_cell : float -> string
+val int_cell : int -> string
+
+val series :
+  ?every:int -> columns:string list -> (int * string list) list -> unit
+(** Print (index, cells) rows, keeping one in [every] (default 1) plus the
+    last row. *)
+
+val summary : (string * string) list -> unit
+(** Key/value block of headline numbers. *)
+
+val blank : unit -> unit

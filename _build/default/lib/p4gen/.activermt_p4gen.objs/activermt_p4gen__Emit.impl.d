@@ -1,0 +1,1 @@
+lib/p4gen/emit.ml: Activermt Buffer Hashtbl List Printf Rmt String

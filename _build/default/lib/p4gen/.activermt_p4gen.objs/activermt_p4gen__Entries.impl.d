@@ -1,0 +1,1 @@
+lib/p4gen/entries.ml: Activermt Array Buffer Emit Printf Rmt

@@ -1,0 +1,1 @@
+lib/p4gen/entries.mli: Activermt Emit

@@ -1,0 +1,27 @@
+(** Control-plane entry generation for the emitted P4 runtime.
+
+    The paper's controller is ≈1.2K lines of Python driving BFRT.  This
+    module generates the equivalent bfrt-python statements for a concrete
+    allocation: per-stage instruction-decode entries gated on FID, the
+    TCAM range entries enforcing the app's MAR bounds, and the
+    ADDR_MASK/ADDR_OFFSET translation constants — exactly the state
+    [Activermt.Table.install] maintains in the simulator, so the two
+    realizations stay aligned. *)
+
+val entries_for_app :
+  Emit.config ->
+  fid:Activermt.Packet.fid ->
+  regions:Activermt.Packet.region option array ->
+  string
+(** bfrt-python lines installing the app's entries on every stage table.
+    Deterministic; stages without a region get pass-through entries whose
+    mask/offset reference the next access stage (Section 3.2). *)
+
+val removal_for_app :
+  Emit.config -> fid:Activermt.Packet.fid -> string
+(** The matching teardown script. *)
+
+val entry_count :
+  Emit.config -> regions:Activermt.Packet.region option array -> int
+(** Entries the installation script writes — the quantity the Figure 8a
+    cost model charges for. *)

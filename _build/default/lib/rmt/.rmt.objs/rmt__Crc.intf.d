@@ -1,0 +1,1 @@
+lib/rmt/crc.mli:

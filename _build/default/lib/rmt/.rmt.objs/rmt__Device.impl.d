@@ -1,0 +1,1 @@
+lib/rmt/device.ml: Array Params Printf Register_array Tcam

@@ -1,0 +1,1 @@
+lib/rmt/device.mli: Params Register_array Tcam

@@ -1,0 +1,1 @@
+lib/rmt/register_array.mli:

@@ -1,0 +1,37 @@
+let table poly =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        if !c land 1 = 1 then c := poly lxor (!c lsr 1) else c := !c lsr 1
+      done;
+      !c)
+
+let crc32_table = table 0xEDB88320
+let crc32c_table = table 0x82F63B78
+
+let update tbl crc byte = tbl.((crc lxor byte) land 0xff) lxor (crc lsr 8)
+
+let bytes_of_word w =
+  [ w land 0xff; (w lsr 8) land 0xff; (w lsr 16) land 0xff; (w lsr 24) land 0xff ]
+
+let run tbl ~seed words =
+  let crc = ref (0xFFFFFFFF lxor (seed land 0xFFFFFFFF)) in
+  let feed byte = crc := update tbl !crc byte in
+  List.iter (fun w -> List.iter feed (bytes_of_word w)) words;
+  !crc lxor 0xFFFFFFFF
+
+let crc32 ?(seed = 0) words = run crc32_table ~seed words
+let crc32c ?(seed = 0) words = run crc32c_table ~seed words
+
+(* CRC is linear over GF(2), so varying only the seed (or prepending a
+   row constant) produces *affine translations* of one function — probes
+   would be fully correlated and sketch/Bloom rows would lose their
+   independence.  Real Tofino stages configure genuinely different
+   polynomials; we emulate a polynomial family by mixing the row into the
+   CRC output with a non-linear (murmur3) finalizer. *)
+let hash_words ~row words =
+  let base = if row land 1 = 0 then crc32 words else crc32c words in
+  let x = (base lxor (row * 0x9E3779B1)) land 0xFFFFFFFF in
+  let x = (x lxor (x lsr 16)) * 0x85EBCA6B land 0xFFFFFFFF in
+  let x = (x lxor (x lsr 13)) * 0xC2B2AE35 land 0xFFFFFFFF in
+  x lxor (x lsr 16)

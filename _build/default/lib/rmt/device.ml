@@ -1,0 +1,52 @@
+type stage = {
+  index : int;
+  regs : Register_array.t;
+  protection : Tcam.t;
+  hash_row : int;
+}
+
+type t = {
+  params : Params.t;
+  stages : stage array;
+  mutable recirculations : int;
+  mutable drops : int;
+}
+
+let create params =
+  match Params.validate params with
+  | Error msg -> invalid_arg ("Device.create: " ^ msg)
+  | Ok params ->
+    let make_stage index =
+      {
+        index;
+        regs = Register_array.create ~words:params.Params.words_per_stage;
+        protection =
+          Tcam.create ~width:params.Params.mar_bits
+            ~capacity:params.Params.tcam_entries_per_stage;
+        hash_row = index;
+      }
+    in
+    {
+      params;
+      stages = Array.init params.Params.logical_stages make_stage;
+      recirculations = 0;
+      drops = 0;
+    }
+
+let params t = t.params
+
+let stage t i =
+  if i < 0 || i >= Array.length t.stages then
+    invalid_arg (Printf.sprintf "Device.stage: index %d out of range" i);
+  t.stages.(i)
+
+let stages t = t.stages
+let n_stages t = Array.length t.stages
+let is_ingress t i = i >= 0 && i < t.params.Params.ingress_stages
+let count_recirculation t = t.recirculations <- t.recirculations + 1
+let recirculations t = t.recirculations
+let count_drop t = t.drops <- t.drops + 1
+let drops t = t.drops
+
+let total_register_words t =
+  Array.fold_left (fun acc s -> acc + Register_array.words s.regs) 0 t.stages

@@ -1,0 +1,39 @@
+(** The simulated switch device: parameters plus per-logical-stage hardware
+    (register array, protection TCAM, hash unit row).
+
+    The device knows nothing about the ActiveRMT instruction set; the
+    interpreter in [Activermt.Runtime] drives it.  This mirrors the real
+    split: the ASIC provides stages, register externs, TCAMs and hash
+    engines, and the P4 runtime program wires them into an interpreter. *)
+
+type stage = {
+  index : int;  (** logical stage index, 0-based *)
+  regs : Register_array.t;
+  protection : Tcam.t;
+  hash_row : int;  (** selects the CRC polynomial/seed for this stage *)
+}
+
+type t
+
+val create : Params.t -> t
+(** @raise Invalid_argument if the parameters fail [Params.validate]. *)
+
+val params : t -> Params.t
+val stage : t -> int -> stage
+(** @raise Invalid_argument on an out-of-range stage index. *)
+
+val stages : t -> stage array
+val n_stages : t -> int
+
+val is_ingress : t -> int -> bool
+(** Does this logical stage index sit in the ingress pipeline? *)
+
+val count_recirculation : t -> unit
+val recirculations : t -> int
+(** Cumulative recirculation count (bandwidth-inflation accounting). *)
+
+val count_drop : t -> unit
+val drops : t -> int
+
+val total_register_words : t -> int
+(** Sum across stages: the total memory available to active programs. *)

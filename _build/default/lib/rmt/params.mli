@@ -1,0 +1,35 @@
+(** Hardware parameters of the simulated RMT device.
+
+    Defaults model the paper's testbed: a Tofino-based Wedge100BF-65X
+    exposing 20 logical match-action stages to active programs (10 ingress
+    + 10 egress), one large register array per stage carved into 256
+    blocks, and per-stage TCAM used for instruction decode and memory
+    protection. *)
+
+type t = {
+  logical_stages : int;  (** total logical stages visible to programs (20) *)
+  ingress_stages : int;  (** stages in the ingress pipeline (10) *)
+  words_per_stage : int;  (** 32-bit register words per stage pool *)
+  blocks_per_stage : int;  (** allocation blocks per stage (256) *)
+  tcam_entries_per_stage : int;
+      (** TCAM capacity left for memory-protection ranges after the fixed
+          instruction-decode entries are installed *)
+  mar_bits : int;  (** address width used for range->prefix expansion *)
+  recirc_limit : int;  (** maximum recirculations before a packet is dropped *)
+  pass_latency_us : float;  (** added RTT per pipeline traversed (Fig 8b) *)
+  wire_rtt_us : float;  (** baseline client->switch->client echo RTT *)
+}
+
+val default : t
+
+val words_per_block : t -> int
+(** Register words in one allocation block. *)
+
+val bytes_per_block : t -> int
+(** Block size in bytes (4-byte words); 1 KB with the defaults. *)
+
+val with_blocks_per_stage : t -> int -> t
+(** Vary allocation granularity (Figure 12) keeping pool size fixed. *)
+
+val validate : t -> (t, string) result
+(** Check internal consistency (ingress <= total, divisibility, ...). *)

@@ -1,0 +1,72 @@
+type t = { data : int array; mutable accesses : int }
+
+type op =
+  | Read
+  | Write of int
+  | Add_read of int
+  | Min_read of int
+  | Max_write of int
+
+type access_result = { value : int }
+
+let mask32 v = v land 0xFFFFFFFF
+
+let create ~words =
+  if words <= 0 then invalid_arg "Register_array.create: words must be positive";
+  { data = Array.make words 0; accesses = 0 }
+
+let words t = Array.length t.data
+
+let check t index =
+  if index < 0 || index >= Array.length t.data then
+    invalid_arg
+      (Printf.sprintf "Register_array.access: index %d out of bounds [0,%d)"
+         index (Array.length t.data))
+
+let access t ~index op =
+  check t index;
+  t.accesses <- t.accesses + 1;
+  let value =
+    match op with
+    | Read -> t.data.(index)
+    | Write v ->
+      let v = mask32 v in
+      t.data.(index) <- v;
+      v
+    | Add_read v ->
+      let nv = mask32 (t.data.(index) + v) in
+      t.data.(index) <- nv;
+      nv
+    | Min_read v -> min t.data.(index) (mask32 v)
+    | Max_write v ->
+      let old = t.data.(index) in
+      t.data.(index) <- max old (mask32 v);
+      old
+  in
+  { value }
+
+let get t index =
+  check t index;
+  t.data.(index)
+
+let set t index v =
+  check t index;
+  t.data.(index) <- mask32 v
+
+let zero_range t ~lo ~hi =
+  check t lo;
+  check t hi;
+  Array.fill t.data lo (hi - lo + 1) 0
+
+let access_count t = t.accesses
+
+let snapshot_range t ~lo ~hi =
+  check t lo;
+  check t hi;
+  Array.sub t.data lo (hi - lo + 1)
+
+let restore_range t ~lo values =
+  check t lo;
+  if lo + Array.length values > Array.length t.data then
+    invalid_arg "Register_array.restore_range: range exceeds array";
+  Array.blit values 0 t.data lo (Array.length values)

@@ -1,0 +1,52 @@
+(** One stage's stateful register memory.
+
+    An RMT stage owns a register array driven by a stateful ALU.  Per
+    packet, a match-table action may trigger exactly one register access at
+    one index, running one of a fixed set of register micro-programs
+    (Section 3.2 defines four memory semantics; together with plain reads
+    and writes they back the Appendix A.4 instructions).
+
+    Values are 32-bit, stored as masked OCaml ints.  Each access is
+    counted so tests can assert the one-access-per-stage-per-packet
+    invariant end to end. *)
+
+type t
+
+(** The stateful-ALU micro-programs exposed to the data plane. *)
+type op =
+  | Read  (** result = mem[i] *)
+  | Write of int  (** mem[i] <- operand; result = operand *)
+  | Add_read of int  (** mem[i] <- mem[i] + operand; result = new value *)
+  | Min_read of int  (** result = min(mem[i], operand); mem unchanged *)
+  | Max_write of int
+      (** mem[i] <- max(mem[i], operand); result = old value *)
+
+type access_result = { value : int }
+
+val create : words:int -> t
+val words : t -> int
+
+val access : t -> index:int -> op -> access_result
+(** Execute one micro-program at [index].
+    @raise Invalid_argument if [index] is out of bounds — the runtime's
+    protection tables are supposed to make that impossible, so hitting it
+    signals a protection bug, not user error. *)
+
+val get : t -> int -> int
+(** Control-plane read (BFRT-style), not counted as a data-plane access. *)
+
+val set : t -> int -> int -> unit
+(** Control-plane write. *)
+
+val zero_range : t -> lo:int -> hi:int -> unit
+(** Control-plane bulk clear of the inclusive range, used when recycling a
+    freed allocation. *)
+
+val access_count : t -> int
+(** Total data-plane accesses since creation. *)
+
+val snapshot_range : t -> lo:int -> hi:int -> int array
+(** Copy of the inclusive range, used for consistent snapshots during
+    reallocation (Section 4.3). *)
+
+val restore_range : t -> lo:int -> int array -> unit

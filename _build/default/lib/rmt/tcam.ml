@@ -1,0 +1,74 @@
+type prefix = { value : int; prefix_len : int }
+
+let prefixes_of_range ~width ~lo ~hi =
+  if width <= 0 || width > 30 then invalid_arg "Tcam: unsupported width";
+  let limit = 1 lsl width in
+  if lo < 0 || hi >= limit then invalid_arg "Tcam: bounds exceed width";
+  (* Greedy minimal cover: repeatedly take the largest aligned power-of-two
+     block starting at [lo] that stays within [hi]. *)
+  let trailing_zeros n =
+    let rec go n c = if n land 1 = 1 then c else go (n lsr 1) (c + 1) in
+    if n = 0 then width else go n 0
+  in
+  let rec cover lo hi acc =
+    if lo > hi then List.rev acc
+    else begin
+      let max_align = min width (trailing_zeros lo) in
+      let rec fit k =
+        if k <= 0 then 0
+        else if k <= max_align && lo + (1 lsl k) - 1 <= hi then k
+        else fit (k - 1)
+      in
+      let k = fit width in
+      let size = 1 lsl k in
+      cover (lo + size) hi ({ value = lo; prefix_len = width - k } :: acc)
+    end
+  in
+  cover lo hi []
+
+let entries_for_range ~width ~lo ~hi = List.length (prefixes_of_range ~width ~lo ~hi)
+
+type entry = { prefixes : prefix list; mutable live : bool }
+type handle = entry
+
+type t = {
+  width : int;
+  capacity : int;
+  mutable used : int;
+  mutable entries : entry list;
+}
+
+let create ~width ~capacity =
+  if capacity < 0 then invalid_arg "Tcam.create: negative capacity";
+  { width; capacity; used = 0; entries = [] }
+
+let capacity t = t.capacity
+let used t = t.used
+let free t = t.capacity - t.used
+
+let install_range t ~lo ~hi =
+  let prefixes = prefixes_of_range ~width:t.width ~lo ~hi in
+  let cost = List.length prefixes in
+  if t.used + cost > t.capacity then Error `Capacity
+  else begin
+    let e = { prefixes; live = true } in
+    t.used <- t.used + cost;
+    t.entries <- e :: t.entries;
+    Ok e
+  end
+
+let remove t handle =
+  if handle.live then begin
+    handle.live <- false;
+    t.used <- t.used - List.length handle.prefixes;
+    t.entries <- List.filter (fun e -> e != handle) t.entries
+  end
+
+let prefix_matches width p v =
+  let shift = width - p.prefix_len in
+  v lsr shift = p.value lsr shift
+
+let matches t v =
+  List.exists
+    (fun e -> e.live && List.exists (fun p -> prefix_matches t.width p v) e.prefixes)
+    t.entries

@@ -1,0 +1,1 @@
+lib/sim/fabric.ml: Activermt Activermt_control Engine Hashtbl List Rmt Stdx Workload

@@ -1,0 +1,1 @@
+lib/sim/fabric.mli: Activermt Activermt_control Engine Workload

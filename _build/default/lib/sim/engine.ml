@@ -1,0 +1,50 @@
+type event = { time : float; seq : int; thunk : unit -> unit }
+
+type t = {
+  queue : event Stdx.Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let compare_events a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create () =
+  { queue = Stdx.Heap.create ~cmp:compare_events; clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time thunk =
+  let time = Float.max time t.clock in
+  Stdx.Heap.push t.queue { time; seq = t.next_seq; thunk };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay thunk = schedule_at t ~time:(t.clock +. delay) thunk
+
+let step t =
+  match Stdx.Heap.pop t.queue with
+  | None -> false
+  | Some e ->
+    t.clock <- e.time;
+    e.thunk ();
+    true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some limit -> (
+      match Stdx.Heap.peek t.queue with
+      | Some e when e.time > limit ->
+        t.clock <- limit;
+        false
+      | Some _ -> true
+      | None ->
+        t.clock <- Float.max t.clock limit;
+        false)
+  in
+  while continue () && step t do
+    ()
+  done
+
+let pending t = Stdx.Heap.length t.queue

@@ -1,0 +1,173 @@
+module Controller = Activermt_control.Controller
+
+type address = int
+
+let switch_address = 0
+
+type payload =
+  | Active of Activermt.Packet.t
+  | Kv_request of { key : Workload.Kv.key }
+  | Kv_reply of { key : Workload.Kv.key; value : int }
+  | Alloc_failed
+  | Notify_realloc
+
+type msg = { src : address; dst : address; payload : payload }
+
+type t = {
+  engine : Engine.t;
+  controller : Controller.t;
+  wire_latency_s : float;
+  loss_rate : float;
+  loss_rng : Stdx.Prng.t;
+  nodes : (address, msg -> unit) Hashtbl.t;
+  owners : (Activermt.Packet.fid, address) Hashtbl.t;
+  mutable drops : int;
+  mutable lost : int;
+}
+
+let create ?(wire_latency_s = 5.0e-6) ?(loss_rate = 0.0) ?(loss_seed = 4_059)
+    ~engine ~controller () =
+  if loss_rate < 0.0 || loss_rate >= 1.0 then
+    invalid_arg "Fabric.create: loss_rate must be in [0, 1)";
+  {
+    engine;
+    controller;
+    wire_latency_s;
+    loss_rate;
+    loss_rng = Stdx.Prng.create ~seed:loss_seed;
+    nodes = Hashtbl.create 16;
+    owners = Hashtbl.create 16;
+    drops = 0;
+    lost = 0;
+  }
+
+let engine t = t.engine
+let controller t = t.controller
+
+let attach t addr handler =
+  if addr = switch_address then invalid_arg "Fabric.attach: switch address reserved";
+  Hashtbl.replace t.nodes addr handler
+
+let register_fid t ~fid ~owner = Hashtbl.replace t.owners fid owner
+
+let lossy t msg =
+  (* Only program packets and their replies ride the lossy data plane. *)
+  match msg.payload with
+  | Active { Activermt.Packet.payload = Activermt.Packet.Exec _; _ } ->
+    t.loss_rate > 0.0 && Stdx.Prng.float t.loss_rng 1.0 < t.loss_rate
+  | Active _ | Kv_request _ | Kv_reply _ | Alloc_failed | Notify_realloc -> false
+
+let deliver t msg ~delay =
+  if lossy t msg then t.lost <- t.lost + 1
+  else
+    Engine.schedule t.engine ~delay (fun () ->
+        match Hashtbl.find_opt t.nodes msg.dst with
+        | Some handler -> handler msg
+        | None -> ())
+
+let notify_impacted t fids =
+  List.iter
+    (fun fid ->
+      match Hashtbl.find_opt t.owners fid with
+      | None -> ()
+      | Some owner ->
+        deliver t
+          { src = switch_address; dst = owner; payload = Notify_realloc }
+          ~delay:t.wire_latency_s)
+    fids
+
+let at_switch t msg =
+  match msg.payload with
+  | Kv_request _ | Kv_reply _ | Alloc_failed | Notify_realloc ->
+    (* Transit traffic: forward to the destination. *)
+    deliver t msg ~delay:t.wire_latency_s
+  | Active pkt -> (
+    match pkt.Activermt.Packet.payload with
+    | Activermt.Packet.Request _ -> (
+      match Controller.handle_request t.controller pkt with
+      | Ok provision ->
+        let dt = Activermt_control.Cost_model.total provision.Controller.timing in
+        (match provision.Controller.phase with
+        | Controller.Awaiting_extraction { impacted } -> notify_impacted t impacted
+        | Controller.Committed -> ());
+        deliver t
+          {
+            src = switch_address;
+            dst = msg.src;
+            payload = Active provision.Controller.response;
+          }
+          ~delay:(dt +. t.wire_latency_s)
+      | Error (`Rejected _) ->
+        deliver t
+          { src = switch_address; dst = msg.src; payload = Alloc_failed }
+          ~delay:(0.01 +. t.wire_latency_s)
+      | Error (`Bad_packet _) -> ())
+    | Activermt.Packet.Bare ->
+      let fid = pkt.Activermt.Packet.fid in
+      if pkt.Activermt.Packet.flags.Activermt.Packet.ack then begin
+        Controller.complete_extraction t.controller ~fid;
+        (* Tell the client where its (possibly moved) allocation now
+           lives so it can re-synthesize and repopulate. *)
+        match Controller.regions_packet t.controller ~fid with
+        | Some response ->
+          deliver t
+            { src = switch_address; dst = msg.src; payload = Active response }
+            ~delay:t.wire_latency_s
+        | None -> ()
+      end
+      else begin
+        (* Release: the service departs and its memory is redistributed;
+           expanded apps are told to re-synchronize. *)
+        let _timing, expanded = Controller.handle_departure t.controller ~fid in
+        Hashtbl.remove t.owners fid;
+        notify_impacted t expanded
+      end
+    | Activermt.Packet.Response _ -> deliver t msg ~delay:t.wire_latency_s
+    | Activermt.Packet.Exec _ ->
+      let tables = Controller.tables t.controller in
+      let meta = Activermt.Runtime.meta ~src:msg.src ~dst:msg.dst () in
+      let fid = pkt.Activermt.Packet.fid in
+      if not (Activermt.Table.installed tables ~fid) then
+        (* Unknown FID: no table entries match, the packet forwards as
+           plain traffic. *)
+        deliver t msg ~delay:t.wire_latency_s
+      else begin
+        let r = Activermt.Runtime.run tables ~meta pkt in
+        let params = Rmt.Device.params (Controller.device t.controller) in
+        let proc_s =
+          1.0e-6
+          *. params.Rmt.Params.pass_latency_us
+          *. float_of_int r.Activermt.Runtime.pipelines
+        in
+        let out_payload =
+          (* Results of execution (MBR_STORE) travel in the packet. *)
+          Active
+            {
+              pkt with
+              Activermt.Packet.payload =
+                (match pkt.Activermt.Packet.payload with
+                | Activermt.Packet.Exec { program; _ } ->
+                  Activermt.Packet.Exec
+                    { args = r.Activermt.Runtime.args_out; program }
+                | other -> other);
+            }
+        in
+        match r.Activermt.Runtime.decision with
+        | Activermt.Runtime.Dropped _ -> t.drops <- t.drops + 1
+        | Activermt.Runtime.Return_to_sender ->
+          deliver t
+            { src = msg.dst; dst = msg.src; payload = out_payload }
+            ~delay:(proc_s +. t.wire_latency_s)
+        | Activermt.Runtime.Forward dst ->
+          let dst = if dst = msg.dst || dst = 0 then msg.dst else dst in
+          deliver t
+            { src = msg.src; dst; payload = out_payload }
+            ~delay:(proc_s +. t.wire_latency_s)
+      end)
+
+let send t msg =
+  if lossy t msg then t.lost <- t.lost + 1
+  else Engine.schedule t.engine ~delay:t.wire_latency_s (fun () -> at_switch t msg)
+
+let stats_drops t = t.drops
+let stats_lost t = t.lost

@@ -1,0 +1,62 @@
+(** The simulated testbed: clients and a KV server attached through the
+    ActiveRMT switch (data plane + controller), mirroring the paper's
+    40-Gbps lab setup.
+
+    The fabric routes messages between addressed nodes.  The switch sits
+    on every path: active program packets are executed by the runtime
+    (adding per-pipeline latency), allocation requests go to the
+    controller (the response returns after the modeled provisioning
+    time), and ack packets complete the extraction protocol.  FIDs are
+    registered to owner addresses so the controller's reallocation
+    notifications reach the right client. *)
+
+type address = int
+
+val switch_address : address
+
+type payload =
+  | Active of Activermt.Packet.t
+  | Kv_request of { key : Workload.Kv.key }
+      (** a plain (non-activated) application request, e.g. while the
+          client's service is paused *)
+  | Kv_reply of { key : Workload.Kv.key; value : int }
+      (** application-level response from the KV server *)
+  | Alloc_failed
+  | Notify_realloc
+      (** controller -> client: your allocation is changing; extract state
+          and ack *)
+
+type msg = { src : address; dst : address; payload : payload }
+
+type t
+
+val create :
+  ?wire_latency_s:float ->
+  ?loss_rate:float ->
+  ?loss_seed:int ->
+  engine:Engine.t ->
+  controller:Activermt_control.Controller.t ->
+  unit ->
+  t
+(** [loss_rate] (default 0) drops that fraction of data-plane deliveries
+    (program packets and their replies), deterministically under
+    [loss_seed]; control traffic is unaffected.  Exercises the memsync
+    retransmission loop. *)
+
+val engine : t -> Engine.t
+val controller : t -> Activermt_control.Controller.t
+
+val attach : t -> address -> (msg -> unit) -> unit
+(** Register a node's receive handler.  The switch address is reserved. *)
+
+val register_fid : t -> fid:Activermt.Packet.fid -> owner:address -> unit
+
+val send : t -> msg -> unit
+(** Inject a message at its source; it reaches the switch after the wire
+    latency and its destination after switch processing. *)
+
+val stats_drops : t -> int
+(** Packets the runtime dropped (protection, recirculation limit, DROP). *)
+
+val stats_lost : t -> int
+(** Data-plane packets lost to the configured loss rate. *)

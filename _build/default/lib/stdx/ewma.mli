@@ -1,0 +1,19 @@
+(** Exponentially weighted moving average, as used throughout the paper's
+    evaluation plots (Figures 5b, 7c, 9a). *)
+
+type t
+
+val create : alpha:float -> t
+(** [create ~alpha] with smoothing factor 0 < alpha <= 1; larger alpha
+    weights recent samples more. *)
+
+val update : t -> float -> float
+(** Feed a sample; returns the new smoothed value. *)
+
+val value : t -> float option
+(** Current smoothed value, [None] before any sample. *)
+
+val value_or : t -> default:float -> float
+
+val smooth : alpha:float -> float list -> float list
+(** Convenience: smooth a whole series, returning a same-length series. *)

@@ -1,0 +1,1 @@
+lib/workload/kv.ml: List Zipf

@@ -1,0 +1,79 @@
+type kind = Cache | Heavy_hitter | Load_balancer | Flow_counter | Bloom_filter
+
+let kind_to_string = function
+  | Cache -> "cache"
+  | Heavy_hitter -> "heavy-hitter"
+  | Load_balancer -> "load-balancer"
+  | Flow_counter -> "flow-counter"
+  | Bloom_filter -> "bloom-filter"
+
+let all_kinds = [| Cache; Heavy_hitter; Load_balancer |]
+
+let extended_kinds =
+  [| Cache; Heavy_hitter; Load_balancer; Flow_counter; Bloom_filter |]
+
+type event = Arrive of { fid : int; kind : kind } | Depart of { fid : int }
+type epoch = { index : int; events : event list }
+
+type config = {
+  arrival_mean : float;
+  departure_mean : float;
+  kinds : kind array;
+}
+
+let default_config =
+  { arrival_mean = 2.0; departure_mean = 1.0; kinds = all_kinds }
+
+let extended_config = { default_config with kinds = extended_kinds }
+
+let pure kind = { arrival_mean = 1.0; departure_mean = 0.0; kinds = [| kind |] }
+let arrivals_only c = { c with departure_mean = 0.0 }
+
+let generate config ~epochs rng =
+  let next_fid = ref 1 in
+  let alive = ref [] in
+  let epoch index =
+    let n_arr =
+      if config.arrival_mean > 0.0 then
+        Stdx.Prng.poisson rng ~mean:config.arrival_mean
+      else 0
+    in
+    let n_dep =
+      if config.departure_mean > 0.0 then
+        Stdx.Prng.poisson rng ~mean:config.departure_mean
+      else 0
+    in
+    let arrivals =
+      List.init n_arr (fun _ ->
+          let fid = !next_fid in
+          incr next_fid;
+          let kind = Stdx.Prng.choose rng config.kinds in
+          alive := fid :: !alive;
+          Arrive { fid; kind })
+    in
+    let departures =
+      List.filter_map
+        (fun _ ->
+          match !alive with
+          | [] -> None
+          | l ->
+            let arr = Array.of_list l in
+            let fid = Stdx.Prng.choose rng arr in
+            alive := List.filter (fun f -> f <> fid) !alive;
+            Some (Depart { fid }))
+        (List.init n_dep (fun i -> i))
+    in
+    { index; events = arrivals @ departures }
+  in
+  List.init epochs epoch
+
+let arrivals_sequence kind ~n =
+  List.init n (fun i ->
+      { index = i; events = [ Arrive { fid = i + 1; kind } ] })
+
+let mixed_arrivals ~n rng =
+  List.init n (fun i ->
+      {
+        index = i;
+        events = [ Arrive { fid = i + 1; kind = Stdx.Prng.choose rng all_kinds } ];
+      })

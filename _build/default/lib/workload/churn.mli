@@ -1,0 +1,50 @@
+(** Application arrival/departure processes for the allocator evaluation.
+
+    Section 6.1's online experiments draw, per unit-less epoch, a Poisson
+    number of arrivals (mean 2) and departures (mean 1); arriving
+    instances are one of the three example services chosen uniformly at
+    random; departures remove a uniformly random resident instance. *)
+
+type kind = Cache | Heavy_hitter | Load_balancer | Flow_counter | Bloom_filter
+
+val kind_to_string : kind -> string
+
+val all_kinds : kind array
+(** The paper's three evaluation services. *)
+
+val extended_kinds : kind array
+(** The paper's three plus the two services this repo adds (flow counter,
+    Bloom filter), for the extended-workload experiment. *)
+
+type event = Arrive of { fid : int; kind : kind } | Depart of { fid : int }
+
+type epoch = { index : int; events : event list }
+
+type config = {
+  arrival_mean : float;  (** Poisson mean arrivals per epoch (2.0) *)
+  departure_mean : float;  (** Poisson mean departures per epoch (1.0) *)
+  kinds : kind array;  (** arrival mix, sampled uniformly *)
+}
+
+val default_config : config
+
+val extended_config : config
+(** [default_config] over [extended_kinds]. *)
+
+val pure : kind -> config
+(** Arrivals of a single kind only, no departures — the Figure 5a / 6
+    pure-workload sequences. *)
+
+val arrivals_only : config -> config
+
+val generate :
+  config -> epochs:int -> Stdx.Prng.t -> epoch list
+(** Deterministic sequence given the PRNG.  FIDs are unique and increase;
+    departures pick among instances currently alive in the generated
+    sequence (so the trace is self-consistent without an allocator). *)
+
+val arrivals_sequence : kind -> n:int -> epoch list
+(** [n] single-arrival epochs of one kind: the Figure 5a shape. *)
+
+val mixed_arrivals : n:int -> Stdx.Prng.t -> epoch list
+(** [n] single-arrival epochs, kind uniform at random: Figure 5b. *)

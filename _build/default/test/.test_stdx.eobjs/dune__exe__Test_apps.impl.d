@@ -1,0 +1,1 @@
+test/test_apps.ml: Activermt Activermt_apps Activermt_client Activermt_compiler Activermt_control Alcotest Array List Option Printf Rmt Stdx Workload

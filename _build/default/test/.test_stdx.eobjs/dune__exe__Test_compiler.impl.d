@@ -1,0 +1,1 @@
+test/test_compiler.ml: Activermt Activermt_apps Activermt_compiler Alcotest Array List QCheck QCheck_alcotest Rmt

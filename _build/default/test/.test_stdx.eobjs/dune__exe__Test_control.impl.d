@@ -1,0 +1,1 @@
+test/test_control.ml: Activermt Activermt_alloc Activermt_apps Activermt_client Activermt_control Alcotest Array List Rmt

@@ -1,0 +1,1 @@
+test/test_core.ml: Activermt Activermt_apps Alcotest Array Bytes Gen List Option Printf QCheck QCheck_alcotest Rmt Workload

@@ -1,0 +1,1 @@
+test/test_exp.ml: Activermt_alloc Alcotest Buffer Bytes Experiments List Rmt Stdx String Unix Workload

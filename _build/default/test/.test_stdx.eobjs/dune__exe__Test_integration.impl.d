@@ -1,0 +1,1 @@
+test/test_integration.ml: Activermt Activermt_alloc Activermt_apps Activermt_client Activermt_compiler Activermt_control Alcotest Array Experiments List Option Rmt Stdx Workload

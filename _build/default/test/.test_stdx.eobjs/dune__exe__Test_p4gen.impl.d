@@ -1,0 +1,1 @@
+test/test_p4gen.ml: Activermt Activermt_p4gen Alcotest Array List Printf Rmt String

@@ -1,0 +1,1 @@
+test/test_rmt.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Rmt

@@ -1,0 +1,1 @@
+test/test_sim.ml: Activermt Activermt_apps Activermt_client Activermt_compiler Activermt_control Alcotest Array List Netsim Option Printf Rmt Workload

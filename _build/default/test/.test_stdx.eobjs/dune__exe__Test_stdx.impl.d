@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Gen List QCheck QCheck_alcotest Stdx

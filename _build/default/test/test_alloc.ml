@@ -1,0 +1,390 @@
+(* Tests for the dynamic memory allocator: per-stage pools with pinned
+   inelastic regions and progressively-filled elastic shares, and the
+   mutant-searching online allocator with its four schemes. *)
+
+module Pool = Activermt_alloc.Pool
+module Allocator = Activermt_alloc.Allocator
+module Spec = Activermt_compiler.Spec
+module Mutant = Activermt_compiler.Mutant
+module App = Activermt_apps.App
+
+let params = Rmt.Params.default
+
+let cache_arrival fid =
+  {
+    Allocator.fid;
+    spec = App.spec Activermt_apps.Cache.service;
+    elastic = true;
+    demand_blocks = [| 1; 1; 1 |];
+  }
+
+let hh_arrival fid =
+  {
+    Allocator.fid;
+    spec = App.spec Activermt_apps.Heavy_hitter.service;
+    elastic = false;
+    demand_blocks = Activermt_apps.Heavy_hitter.service.App.demand_blocks;
+  }
+
+let lb_arrival fid =
+  {
+    Allocator.fid;
+    spec = App.spec Activermt_apps.Cheetah_lb.service;
+    elastic = false;
+    demand_blocks = [| 1; 1; 1; 1 |];
+  }
+
+let admit_exn alloc arrival =
+  match Allocator.admit alloc arrival with
+  | Allocator.Admitted a -> a
+  | Allocator.Rejected _ -> Alcotest.fail "unexpected rejection"
+
+(* -- Pool ---------------------------------------------------------------- *)
+
+let test_pool_inelastic_pinned_at_bottom () =
+  let p = Pool.create ~total_blocks:16 in
+  (match Pool.add_inelastic p ~fid:1 ~blocks:4 with
+  | Ok r -> Alcotest.(check int) "starts at 0" 0 r.Pool.first_block
+  | Error `No_space -> Alcotest.fail "fits");
+  match Pool.add_inelastic p ~fid:2 ~blocks:4 with
+  | Ok r -> Alcotest.(check int) "stacked above" 4 r.Pool.first_block
+  | Error `No_space -> Alcotest.fail "fits"
+
+let test_pool_hole_reuse () =
+  let p = Pool.create ~total_blocks:16 in
+  ignore (Pool.add_inelastic p ~fid:1 ~blocks:4);
+  ignore (Pool.add_inelastic p ~fid:2 ~blocks:4);
+  ignore (Pool.add_inelastic p ~fid:3 ~blocks:4);
+  Alcotest.(check bool) "remove middle" true (Pool.remove p ~fid:2);
+  Alcotest.(check int) "high water unchanged" 12 (Pool.high_water p);
+  (* A smaller app reuses the hole (first fit). *)
+  match Pool.add_inelastic p ~fid:4 ~blocks:3 with
+  | Ok r -> Alcotest.(check int) "hole reused" 4 r.Pool.first_block
+  | Error `No_space -> Alcotest.fail "fits"
+
+let test_pool_fragmentation_blocks_big () =
+  let p = Pool.create ~total_blocks:12 in
+  ignore (Pool.add_inelastic p ~fid:1 ~blocks:4);
+  ignore (Pool.add_inelastic p ~fid:2 ~blocks:4);
+  ignore (Pool.add_inelastic p ~fid:3 ~blocks:4);
+  ignore (Pool.remove p ~fid:2);
+  (* 4 free in the hole, 0 above: a 5-block app cannot fit (the paper
+     accepts this fragmentation for pinned apps). *)
+  Alcotest.(check bool) "5 blocks do not fit" false (Pool.can_fit_inelastic p ~blocks:5);
+  Alcotest.(check bool) "4 blocks fit" true (Pool.can_fit_inelastic p ~blocks:4)
+
+let test_pool_elastic_fills_everything () =
+  let p = Pool.create ~total_blocks:64 in
+  ignore (Pool.add_inelastic p ~fid:1 ~blocks:14);
+  (match Pool.add_elastic p ~fid:2 ~min_blocks:1 with
+  | Ok () -> ()
+  | Error `No_space -> Alcotest.fail "fits");
+  (match Pool.refill_elastic p with
+  | [ (2, r) ] ->
+    Alcotest.(check int) "starts above pinned zone" 14 r.Pool.first_block;
+    Alcotest.(check int) "consumes all free blocks" 50 r.Pool.n_blocks
+  | _ -> Alcotest.fail "one elastic resident");
+  Alcotest.(check int) "pool full" 64 (Pool.used_blocks p)
+
+let test_pool_elastic_equal_split () =
+  let p = Pool.create ~total_blocks:30 in
+  ignore (Pool.add_elastic p ~fid:1 ~min_blocks:1);
+  ignore (Pool.add_elastic p ~fid:2 ~min_blocks:1);
+  ignore (Pool.add_elastic p ~fid:3 ~min_blocks:1);
+  let layout = Pool.refill_elastic p in
+  List.iter
+    (fun (_, r) -> Alcotest.(check int) "equal share" 10 r.Pool.n_blocks)
+    layout
+
+let test_pool_elastic_remainder () =
+  let p = Pool.create ~total_blocks:32 in
+  ignore (Pool.add_elastic p ~fid:1 ~min_blocks:1);
+  ignore (Pool.add_elastic p ~fid:2 ~min_blocks:1);
+  ignore (Pool.add_elastic p ~fid:3 ~min_blocks:1);
+  let layout = Pool.refill_elastic p in
+  let sizes = List.map (fun (_, r) -> r.Pool.n_blocks) layout in
+  Alcotest.(check int) "all blocks used" 32 (List.fold_left ( + ) 0 sizes);
+  Alcotest.(check bool) "max-min spread <= 1" true
+    (List.fold_left max 0 sizes - List.fold_left min 32 sizes <= 1)
+
+let test_pool_progressive_fill_respects_minimums () =
+  (* One app insists on 20 blocks; the rest split what remains. *)
+  let p = Pool.create ~total_blocks:32 in
+  ignore (Pool.add_elastic p ~fid:1 ~min_blocks:20);
+  ignore (Pool.add_elastic p ~fid:2 ~min_blocks:1);
+  ignore (Pool.add_elastic p ~fid:3 ~min_blocks:1);
+  let layout = Pool.refill_elastic p in
+  let size fid = (List.assoc fid layout).Pool.n_blocks in
+  Alcotest.(check int) "minimum honoured" 20 (size 1);
+  Alcotest.(check int) "fair remainder" 6 (size 2);
+  Alcotest.(check int) "fair remainder" 6 (size 3)
+
+let test_pool_fungible () =
+  let p = Pool.create ~total_blocks:32 in
+  ignore (Pool.add_inelastic p ~fid:1 ~blocks:10);
+  ignore (Pool.add_elastic p ~fid:2 ~min_blocks:2);
+  Alcotest.(check int) "total - pinned - mins" 20 (Pool.fungible_blocks p)
+
+let test_pool_map_no_overlap () =
+  let p = Pool.create ~total_blocks:32 in
+  ignore (Pool.add_inelastic p ~fid:1 ~blocks:5);
+  ignore (Pool.add_elastic p ~fid:2 ~min_blocks:1);
+  ignore (Pool.add_elastic p ~fid:3 ~min_blocks:1);
+  ignore (Pool.refill_elastic p);
+  let m = Pool.map p in
+  let owned = Array.to_list m |> List.filter (fun f -> f >= 0) in
+  Alcotest.(check int) "used = owned blocks" (Pool.used_blocks p) (List.length owned)
+
+let prop_pool_progressive_fill =
+  QCheck.Test.make ~name:"progressive filling: budget exhausted, mins kept"
+    ~count:200
+    QCheck.(pair (int_range 10 200) (list_of_size Gen.(int_range 1 8) (int_range 1 10)))
+    (fun (total, mins) ->
+      QCheck.assume (total > 0 && List.for_all (fun m -> m > 0) mins);
+      QCheck.assume (List.fold_left ( + ) 0 mins <= total);
+      let p = Pool.create ~total_blocks:total in
+      List.iteri
+        (fun i m ->
+          match Pool.add_elastic p ~fid:i ~min_blocks:m with
+          | Ok () -> ()
+          | Error `No_space -> QCheck.assume_fail ())
+        mins;
+      let layout = Pool.refill_elastic p in
+      let sizes = List.map (fun (_, r) -> r.Pool.n_blocks) layout in
+      List.fold_left ( + ) 0 sizes = total
+      && List.for_all2 (fun s m -> s >= m) sizes mins)
+
+let prop_pool_max_min_characterization =
+  (* Max-min with minimums: every share equals max(min_i, water) for a
+     single water level, up to the one-block integer remainder. *)
+  QCheck.Test.make ~name:"progressive filling is max-min fair" ~count:200
+    QCheck.(pair (int_range 20 300) (list_of_size Gen.(int_range 2 8) (int_range 1 12)))
+    (fun (total, mins) ->
+      QCheck.assume (total > 0 && List.for_all (fun m -> m > 0) mins);
+      QCheck.assume (List.fold_left ( + ) 0 mins <= total);
+      let p = Pool.create ~total_blocks:total in
+      List.iteri
+        (fun i m ->
+          match Pool.add_elastic p ~fid:i ~min_blocks:m with
+          | Ok () -> ()
+          | Error `No_space -> QCheck.assume_fail ())
+        mins;
+      let layout = Pool.refill_elastic p in
+      let shares = List.map (fun (_, r) -> r.Pool.n_blocks) layout in
+      (* Water level = the largest share among apps not pinned at their
+         minimum; all flexible apps sit within one block of it. *)
+      let flexible =
+        List.filter (fun (s, m) -> s > m) (List.combine shares mins)
+      in
+      match flexible with
+      | [] -> true
+      | (s0, _) :: _ ->
+        List.for_all (fun (s, _) -> abs (s - s0) <= 1) flexible)
+
+(* -- Allocator: admission ------------------------------------------------ *)
+
+let test_admit_cache_regions () =
+  let alloc = Allocator.create params in
+  let adm = admit_exn alloc (cache_arrival 1) in
+  Alcotest.(check int) "three regions" 3 (List.length adm.Allocator.regions);
+  Alcotest.(check (list int)) "compact stages" [ 1; 4; 8 ]
+    (List.map (fun r -> r.Allocator.stage) adm.Allocator.regions);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "whole stage (elastic, alone)" 256 r.Allocator.range.Pool.n_blocks)
+    adm.Allocator.regions
+
+let test_admit_duplicate_fid () =
+  let alloc = Allocator.create params in
+  ignore (admit_exn alloc (cache_arrival 1));
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Allocator.admit alloc (cache_arrival 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_worst_fit_spreads () =
+  let alloc = Allocator.create ~scheme:Allocator.Worst_fit params in
+  let a1 = admit_exn alloc (cache_arrival 1) in
+  let a2 = admit_exn alloc (cache_arrival 2) in
+  let stages a = List.map (fun r -> r.Allocator.stage) a.Allocator.regions in
+  let inter = List.filter (fun s -> List.mem s (stages a1)) (stages a2) in
+  Alcotest.(check (list int)) "disjoint stages" [] inter;
+  Alcotest.(check int) "no reallocation needed" 0 (List.length a2.Allocator.reallocated)
+
+let test_best_fit_packs () =
+  let alloc = Allocator.create ~scheme:Allocator.Best_fit params in
+  let a1 = admit_exn alloc (cache_arrival 1) in
+  let a2 = admit_exn alloc (cache_arrival 2) in
+  let stages a = List.map (fun r -> r.Allocator.stage) a.Allocator.regions in
+  Alcotest.(check (list int)) "same stages (packs occupied)" (stages a1) (stages a2)
+
+let test_first_fit_takes_identity () =
+  let alloc = Allocator.create ~scheme:Allocator.First_fit params in
+  let a1 = admit_exn alloc (cache_arrival 1) in
+  Alcotest.(check (list int)) "identity placement" [ 1; 4; 8 ]
+    (List.map (fun r -> r.Allocator.stage) a1.Allocator.regions);
+  let a2 = admit_exn alloc (cache_arrival 2) in
+  Alcotest.(check (list int)) "identity again (shared)" [ 1; 4; 8 ]
+    (List.map (fun r -> r.Allocator.stage) a2.Allocator.regions)
+
+let test_min_realloc_avoids_elastic () =
+  let alloc = Allocator.create ~scheme:Allocator.Min_realloc params in
+  ignore (admit_exn alloc (cache_arrival 1));
+  let a2 = admit_exn alloc (cache_arrival 2) in
+  Alcotest.(check int) "no reallocations" 0 (List.length a2.Allocator.reallocated)
+
+let test_elastic_sharing_splits_equally () =
+  let alloc = Allocator.create ~scheme:Allocator.Best_fit params in
+  ignore (admit_exn alloc (cache_arrival 1));
+  let a2 = admit_exn alloc (cache_arrival 2) in
+  Alcotest.(check int) "first app reallocated" 1 (List.length a2.Allocator.reallocated);
+  Alcotest.(check int) "equal blocks" (Allocator.app_blocks alloc ~fid:1)
+    (Allocator.app_blocks alloc ~fid:2);
+  Alcotest.(check int) "split of 3 stages" 384 (Allocator.app_blocks alloc ~fid:1)
+
+let test_inelastic_unperturbed () =
+  (* Arriving caches never move pinned apps. *)
+  let alloc = Allocator.create params in
+  ignore (admit_exn alloc (lb_arrival 1));
+  let before = Option.get (Allocator.regions_of alloc ~fid:1) in
+  for fid = 2 to 10 do
+    ignore (admit_exn alloc (cache_arrival fid))
+  done;
+  let after = Option.get (Allocator.regions_of alloc ~fid:1) in
+  Alcotest.(check bool) "pinned placement unchanged" true (before = after)
+
+let test_rejection_when_full () =
+  let alloc = Allocator.create params in
+  let admitted = ref 0 in
+  (try
+     for fid = 1 to 64 do
+       match Allocator.admit alloc (hh_arrival fid) with
+       | Allocator.Admitted _ -> incr admitted
+       | Allocator.Rejected _ -> raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check int) "16 heavy hitters fit (256/16 per stage)" 16 !admitted
+
+let test_departure_expands_elastic () =
+  let alloc = Allocator.create ~scheme:Allocator.Best_fit params in
+  ignore (admit_exn alloc (cache_arrival 1));
+  ignore (admit_exn alloc (cache_arrival 2));
+  let before = Allocator.app_blocks alloc ~fid:2 in
+  let expanded = Allocator.depart alloc ~fid:1 in
+  Alcotest.(check (list int)) "app 2 expanded" [ 2 ] (List.map fst expanded);
+  Alcotest.(check bool) "strictly larger" true
+    (Allocator.app_blocks alloc ~fid:2 > before);
+  Alcotest.(check int) "full stages again" 768 (Allocator.app_blocks alloc ~fid:2)
+
+let test_depart_unknown_fid () =
+  let alloc = Allocator.create params in
+  Alcotest.(check (list int)) "no-op" []
+    (List.map fst (Allocator.depart alloc ~fid:99))
+
+let test_utilization_monotone_pure_cache () =
+  let alloc = Allocator.create params in
+  let last = ref 0.0 in
+  for fid = 1 to 20 do
+    ignore (admit_exn alloc (cache_arrival fid));
+    let u = Allocator.utilization alloc in
+    Alcotest.(check bool) "non-decreasing" true (u >= !last -. 1e-9);
+    last := u
+  done;
+  Alcotest.(check bool) "bounded" true (!last <= 1.0)
+
+let test_regions_response_words () =
+  let alloc = Allocator.create params in
+  ignore (admit_exn alloc (cache_arrival 1));
+  match Allocator.regions_response alloc ~fid:1 with
+  | None -> Alcotest.fail "resident"
+  | Some regions ->
+    (match regions.(1) with
+    | Some { Activermt.Packet.start_word; n_words } ->
+      Alcotest.(check int) "word offset" 0 start_word;
+      Alcotest.(check int) "whole stage in words" 65536 n_words
+    | None -> Alcotest.fail "stage 1 allocated");
+    Alcotest.(check bool) "unallocated stage empty" true (regions.(0) = None)
+
+let test_rejected_considered_mutants () =
+  let alloc = Allocator.create params in
+  for fid = 1 to 16 do
+    ignore (admit_exn alloc (hh_arrival fid))
+  done;
+  match Allocator.admit alloc (hh_arrival 17) with
+  | Allocator.Rejected r ->
+    Alcotest.(check int) "considered the single mc mutant" 1
+      r.Allocator.considered_mutants
+  | Allocator.Admitted _ -> Alcotest.fail "should be full"
+
+(* Random churn keeps the allocator's central invariants. *)
+let prop_churn_invariants =
+  QCheck.Test.make ~name:"random churn: no overlap, utilization bounded"
+    ~count:30
+    QCheck.(make Gen.(list_size (int_range 5 60) (int_range 0 2)))
+    (fun ops ->
+      let alloc = Allocator.create params in
+      let next = ref 0 in
+      let live = ref [] in
+      List.iter
+        (fun op ->
+          if op = 2 && !live <> [] then begin
+            let fid = List.hd !live in
+            live := List.tl !live;
+            ignore (Allocator.depart alloc ~fid)
+          end
+          else begin
+            incr next;
+            let arrival =
+              if op = 0 then cache_arrival !next else lb_arrival !next
+            in
+            match Allocator.admit alloc arrival with
+            | Allocator.Admitted _ -> live := !live @ [ !next ]
+            | Allocator.Rejected _ -> ()
+          end)
+        ops;
+      (* stage_used_blocks recomputes from pools; Pool.map raises on
+         overlap, so merely forcing it checks the invariant. *)
+      let used = Allocator.stage_used_blocks alloc in
+      Allocator.utilization alloc <= 1.0
+      && Array.for_all (fun u -> u >= 0 && u <= 256) used)
+
+let () =
+  Alcotest.run "alloc"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "inelastic pinned" `Quick test_pool_inelastic_pinned_at_bottom;
+          Alcotest.test_case "hole reuse" `Quick test_pool_hole_reuse;
+          Alcotest.test_case "fragmentation" `Quick test_pool_fragmentation_blocks_big;
+          Alcotest.test_case "elastic fills pool" `Quick test_pool_elastic_fills_everything;
+          Alcotest.test_case "equal split" `Quick test_pool_elastic_equal_split;
+          Alcotest.test_case "remainder split" `Quick test_pool_elastic_remainder;
+          Alcotest.test_case "minimums honoured" `Quick
+            test_pool_progressive_fill_respects_minimums;
+          Alcotest.test_case "fungible blocks" `Quick test_pool_fungible;
+          Alcotest.test_case "map consistency" `Quick test_pool_map_no_overlap;
+          QCheck_alcotest.to_alcotest prop_pool_progressive_fill;
+          QCheck_alcotest.to_alcotest prop_pool_max_min_characterization;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "cache admission" `Quick test_admit_cache_regions;
+          Alcotest.test_case "duplicate fid" `Quick test_admit_duplicate_fid;
+          Alcotest.test_case "worst-fit spreads" `Quick test_worst_fit_spreads;
+          Alcotest.test_case "best-fit packs" `Quick test_best_fit_packs;
+          Alcotest.test_case "first-fit identity" `Quick test_first_fit_takes_identity;
+          Alcotest.test_case "min-realloc avoids elastic" `Quick
+            test_min_realloc_avoids_elastic;
+          Alcotest.test_case "elastic sharing" `Quick test_elastic_sharing_splits_equally;
+          Alcotest.test_case "inelastic unperturbed" `Quick test_inelastic_unperturbed;
+          Alcotest.test_case "rejection when full" `Quick test_rejection_when_full;
+          Alcotest.test_case "departure expands" `Quick test_departure_expands_elastic;
+          Alcotest.test_case "depart unknown" `Quick test_depart_unknown_fid;
+          Alcotest.test_case "utilization monotone" `Quick
+            test_utilization_monotone_pure_cache;
+          Alcotest.test_case "regions response" `Quick test_regions_response_words;
+          Alcotest.test_case "rejected stats" `Quick test_rejected_considered_mutants;
+          QCheck_alcotest.to_alcotest prop_churn_invariants;
+        ] );
+    ]

@@ -1,0 +1,428 @@
+(* Tests for the exemplar active services: structural checks against the
+   paper's listings and functional checks of the memsync generators. *)
+
+module App = Activermt_apps.App
+module Cache = Activermt_apps.Cache
+module Hh = Activermt_apps.Heavy_hitter
+module Lb = Activermt_apps.Cheetah_lb
+module Memsync = Activermt_apps.Memsync
+module P = Activermt.Program
+module I = Activermt.Instr
+module Spec = Activermt_compiler.Spec
+
+(* -- Descriptors --------------------------------------------------------- *)
+
+let test_services_validate () =
+  List.iter
+    (fun app ->
+      match App.validate app with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (app.App.name ^ ": " ^ e))
+    [ Cache.service; Hh.service; Lb.service ]
+
+let test_validate_rejects_mismatched_programs () =
+  let bad =
+    {
+      App.name = "bad";
+      programs = [ Spec.analyze Cache.query_program; Spec.analyze Hh.program ];
+      elastic = true;
+      demand_blocks = [| 1; 1; 1 |];
+    }
+  in
+  match App.validate bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted mismatched co-scheduled programs"
+
+let test_validate_rejects_bad_demands () =
+  let bad = { Cache.service with App.demand_blocks = [| 1; 1 |] } in
+  (match App.validate bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted wrong demand arity");
+  let bad = { Cache.service with App.demand_blocks = [| 1; 0; 1 |] } in
+  match App.validate bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted zero demand"
+
+let test_program_of_assembly_raises () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (App.program_of_assembly ~name:"x" "BOGUS");
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Cache --------------------------------------------------------------- *)
+
+let test_cache_query_is_listing1 () =
+  Alcotest.(check int) "11 instructions" 11 (P.length Cache.query_program);
+  Alcotest.(check (list int)) "accesses" [ 1; 4; 8 ]
+    (P.memory_access_positions Cache.query_program);
+  Alcotest.(check (option int)) "RTS" (Some 7) (P.rts_position Cache.query_program)
+
+let test_cache_populate_same_skeleton () =
+  Alcotest.(check (list int)) "same access positions"
+    (P.memory_access_positions Cache.query_program)
+    (P.memory_access_positions Cache.populate_program);
+  Alcotest.(check (option int)) "same RTS position"
+    (P.rts_position Cache.query_program)
+    (P.rts_position Cache.populate_program)
+
+let test_cache_elastic () =
+  Alcotest.(check bool) "elastic" true Cache.service.App.elastic
+
+let test_cache_bucket_stable () =
+  let b1 = Cache.bucket_of_key ~capacity:1000 ~key0:1 ~key1:2 in
+  let b2 = Cache.bucket_of_key ~capacity:1000 ~key0:1 ~key1:2 in
+  Alcotest.(check int) "deterministic" b1 b2;
+  Alcotest.(check bool) "in range" true (b1 >= 0 && b1 < 1000);
+  Alcotest.(check int) "zero capacity safe" 0
+    (Cache.bucket_of_key ~capacity:0 ~key0:1 ~key1:2)
+
+let test_cache_args () =
+  Alcotest.(check (array int)) "query args" [| 9; 1; 2; 0 |]
+    (Cache.query_args ~bucket:9 ~key0:1 ~key1:2);
+  Alcotest.(check (array int)) "populate args" [| 9; 1; 2; 7 |]
+    (Cache.populate_args ~bucket:9 ~key0:1 ~key1:2 ~value:7)
+
+(* -- Heavy hitter -------------------------------------------------------- *)
+
+let test_listing2_verbatim_shape () =
+  Alcotest.(check int) "29 instructions" 29 (P.length Hh.listing2_program);
+  Alcotest.(check (list int)) "accesses at paper lines 8,13,16,21,26,28"
+    [ 7; 12; 15; 20; 25; 27 ]
+    (P.memory_access_positions Hh.listing2_program)
+
+let test_hh_aligned_program () =
+  let spec = App.spec Hh.service in
+  Alcotest.(check int) "40 instructions (two exact passes)" 40 spec.Spec.length;
+  let stages = Array.map (fun p -> p mod 20) (Array.map (fun a -> a) spec.Spec.accesses) in
+  Alcotest.(check int) "threshold write re-accesses the read's stage"
+    stages.(Hh.threshold_access) stages.(3);
+  Alcotest.(check bool) "six accesses" true (Array.length spec.Spec.accesses = 6)
+
+let test_hh_inelastic_demand () =
+  Alcotest.(check bool) "inelastic" false Hh.service.App.elastic;
+  Alcotest.(check (array int)) "16 blocks per access" [| 16; 16; 16; 16; 16; 16 |]
+    Hh.service.App.demand_blocks
+
+let test_hh_args () =
+  Alcotest.(check (array int)) "args" [| 1; 2; 3; 0 |] (Hh.args ~key0:1 ~key1:2 ~slot:3)
+
+let test_hh_sketch_matches_reference () =
+  (* Stream 3000 Zipf keys through the monitor and compare both sketch
+     rows, word for word, against a reference count-min built on the same
+     per-stage hash family — end-to-end validation of HASH, ADDR_MASK and
+     MEM_MINREADINC. *)
+  let params = Rmt.Params.default in
+  let ctl = Activermt_control.Controller.create (Rmt.Device.create params) in
+  let req = Activermt_client.Negotiate.request_packet ~fid:8 ~seq:0 Hh.service in
+  (match Activermt_control.Controller.handle_request ctl req with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "admission");
+  let regions =
+    Option.get
+      (Activermt_client.Negotiate.granted_regions
+         (Option.get (Activermt_control.Controller.regions_packet ctl ~fid:8)))
+  in
+  let hh =
+    match
+      Activermt_client.Hh_client.create params
+        ~policy:Activermt_compiler.Mutant.Most_constrained ~fid:8 ~regions
+    with
+    | Ok h -> h
+    | Error e -> Alcotest.fail e
+  in
+  (* HASH executes at stages 4 and 9 (selecting those stages' hash
+     engines); the counters live at stages 7 and 12. *)
+  let rows = [ (7, 4); (12, 9) ] in
+  let row_words = 4096 (* 16 blocks *) in
+  let mask = row_words - 1 in
+  let reference =
+    List.map (fun (mem_stage, hash_stage) -> (mem_stage, hash_stage, Array.make row_words 0)) rows
+  in
+  let tables = Activermt_control.Controller.tables ctl in
+  let meta = Activermt.Runtime.meta ~src:1 ~dst:2 () in
+  let rng = Stdx.Prng.create ~seed:31 in
+  let zipf = Workload.Zipf.create ~exponent:1.0 ~n:5000 rng in
+  for seq = 1 to 3000 do
+    let key = Workload.Kv.key_of_rank (Workload.Zipf.sample zipf) in
+    ignore
+      (Activermt.Runtime.run tables ~meta
+         (Activermt_client.Hh_client.monitor_packet hh ~seq key));
+    List.iter
+      (fun (_, hash_stage, row) ->
+        let h = Rmt.Crc.hash_words ~row:hash_stage [ key.Workload.Kv.k0; key.Workload.Kv.k1 ] in
+        let slot = h land mask in
+        row.(slot) <- row.(slot) + 1)
+      reference
+  done;
+  List.iter
+    (fun (stage, _, row) ->
+      let device_row =
+        Option.get (Activermt_control.Controller.read_region ctl ~fid:8 ~stage)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "stage %d row length" stage)
+        row_words (Array.length device_row);
+      Alcotest.(check (array int))
+        (Printf.sprintf "stage %d counts" stage)
+        row device_row)
+    reference
+
+(* -- Cheetah LB ---------------------------------------------------------- *)
+
+let test_lb_syn_shape () =
+  Alcotest.(check int) "28 instructions" 28 (P.length Lb.syn_program);
+  Alcotest.(check (list int)) "accesses at paper lines 5,7,16,18" [ 4; 6; 15; 17 ]
+    (P.memory_access_positions Lb.syn_program);
+  (* HASH sits at the published position (cookie alignment contract). *)
+  (match Lb.syn_program.P.lines.(Lb.syn_hash_position) with
+  | { P.instr = I.Hash; _ } -> ()
+  | _ -> Alcotest.fail "syn_hash_position must point at HASH")
+
+let test_lb_flow_shape () =
+  Alcotest.(check int) "10 instructions" 10 (P.length Lb.flow_program);
+  Alcotest.(check (list int)) "stateless" [] (P.memory_access_positions Lb.flow_program)
+
+let test_lb_flow_alignment () =
+  List.iter
+    (fun stage ->
+      let p = Lb.flow_program_for ~hash_stage:stage in
+      let hash_pos =
+        Option.get (P.position_of_first p ~f:(fun i -> i = I.Hash))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "hash lands on stage %d" stage)
+        stage (hash_pos mod 20))
+    [ 0; 2; 3; 7; 19 ]
+
+let test_lb_install_pool_validation () =
+  let write ~stage:_ ~index:_ ~value:_ = true in
+  Alcotest.(check bool) "non-power-of-two rejected" true
+    (try
+       Lb.install_pool ~write ~accesses_stages:[| 1; 2; 3; 4 |] ~ports:[| 1; 2; 3 |];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong stage arity rejected" true
+    (try
+       Lb.install_pool ~write ~accesses_stages:[| 1; 2 |] ~ports:[| 1; 2 |];
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Counter ------------------------------------------------------------- *)
+
+module Counter = Activermt_apps.Counter
+
+let test_counter_shape () =
+  Alcotest.(check int) "4 instructions" 4 (P.length Counter.program);
+  Alcotest.(check (list int)) "one access" [ 1 ]
+    (P.memory_access_positions Counter.program);
+  match App.validate Counter.service with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_counter_end_to_end () =
+  let ctl = Activermt_control.Controller.create (Rmt.Device.create Rmt.Params.default) in
+  let req = Activermt_client.Negotiate.request_packet ~fid:4 ~seq:0 Counter.service in
+  (match Activermt_control.Controller.handle_request ctl req with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "admission");
+  let tables = Activermt_control.Controller.tables ctl in
+  let meta = Activermt.Runtime.meta ~src:1 ~dst:2 () in
+  let send slot =
+    let pkt =
+      Activermt.Packet.exec
+        ~flags:{ Activermt.Packet.no_flags with virtual_addressing = true }
+        ~fid:4 ~seq:0 ~args:(Counter.args ~slot) Counter.program
+    in
+    let r = Activermt.Runtime.run tables ~meta pkt in
+    r.Activermt.Runtime.args_out.(Counter.arg_count)
+  in
+  Alcotest.(check int) "first packet" 1 (send 7);
+  Alcotest.(check int) "second packet" 2 (send 7);
+  Alcotest.(check int) "independent slot" 1 (send 8)
+
+let test_counter_slot_hash () =
+  let s = Counter.slot_of_flow ~slots:1024 [| 1; 2 |] in
+  Alcotest.(check bool) "in range" true (s >= 0 && s < 1024);
+  Alcotest.(check int) "deterministic" s (Counter.slot_of_flow ~slots:1024 [| 1; 2 |])
+
+(* -- Bloom filter ---------------------------------------------------------- *)
+
+module Bloom = Activermt_apps.Bloom
+
+let test_bloom_shape () =
+  Alcotest.(check (list int)) "insert accesses" [ 7; 11; 15 ]
+    (P.memory_access_positions Bloom.insert_program);
+  Alcotest.(check (list int)) "query accesses" [ 7; 11; 15 ]
+    (P.memory_access_positions Bloom.query_program);
+  (* Hash engines line up probe for probe. *)
+  let hashes p =
+    Array.to_list
+      (Array.mapi (fun i l -> (i, l.P.instr)) p.P.lines)
+    |> List.filter_map (fun (i, instr) -> if instr = I.Hash then Some i else None)
+  in
+  Alcotest.(check (list int)) "same hash stages" (hashes Bloom.insert_program)
+    (hashes Bloom.query_program);
+  match App.validate Bloom.service with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let bloom_world () =
+  let ctl = Activermt_control.Controller.create (Rmt.Device.create Rmt.Params.default) in
+  let req = Activermt_client.Negotiate.request_packet ~fid:5 ~seq:0 Bloom.service in
+  (match Activermt_control.Controller.handle_request ctl req with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "admission");
+  let tables = Activermt_control.Controller.tables ctl in
+  let meta = Activermt.Runtime.meta ~src:1 ~dst:2 () in
+  let exec args program =
+    Activermt.Runtime.run tables ~meta
+      (Activermt.Packet.exec
+         ~flags:{ Activermt.Packet.no_flags with virtual_addressing = true }
+         ~fid:5 ~seq:0 ~args program)
+  in
+  let insert k0 k1 = ignore (exec (Bloom.insert_args ~key0:k0 ~key1:k1) Bloom.insert_program) in
+  let member k0 k1 =
+    match (exec (Bloom.query_args ~key0:k0 ~key1:k1) Bloom.query_program).Activermt.Runtime.decision with
+    | Activermt.Runtime.Return_to_sender -> true
+    | Activermt.Runtime.Forward _ -> false
+    | Activermt.Runtime.Dropped _ -> Alcotest.fail "query dropped"
+  in
+  (insert, member)
+
+let test_bloom_membership () =
+  let insert, member = bloom_world () in
+  Alcotest.(check bool) "empty filter" false (member 1 2);
+  insert 1 2;
+  Alcotest.(check bool) "member after insert" true (member 1 2);
+  Alcotest.(check bool) "no false negative ever" true
+    (List.for_all
+       (fun i ->
+         insert i (i * 3);
+         member i (i * 3))
+       (List.init 50 (fun i -> i + 10)))
+
+let test_bloom_false_positive_rate () =
+  let insert, member = bloom_world () in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    insert i (i + 1_000_000)
+  done;
+  let fps = ref 0 in
+  let probes = 2000 in
+  for i = 0 to probes - 1 do
+    if member (5_000_000 + i) (9_000_000 + i) then incr fps
+  done;
+  let measured = float_of_int !fps /. float_of_int probes in
+  (* Each probe array is a full 64K-word stage region. *)
+  let expected = Bloom.false_positive_rate ~bits_per_stage:65536 ~inserted:n in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.5f ~ expected %.5f" measured expected)
+    true
+    (measured < (10.0 *. expected) +. 0.01)
+
+(* -- Memsync ------------------------------------------------------------- *)
+
+let test_memsync_listings_shape () =
+  Alcotest.(check int) "listing 5" 5 (P.length Memsync.listing5);
+  Alcotest.(check int) "listing 6" 5 (P.length Memsync.listing6);
+  Alcotest.(check (list int)) "read access" [ 1 ]
+    (P.memory_access_positions Memsync.listing5);
+  Alcotest.(check (list int)) "write access" [ 2 ]
+    (P.memory_access_positions Memsync.listing6)
+
+let test_memsync_read_program_stages () =
+  let p = Memsync.read_program ~stages:[ 2; 5; 9 ] in
+  Alcotest.(check (list int)) "reads at requested stages" [ 2; 5; 9 ]
+    (P.memory_access_positions p);
+  (match P.validate p with Ok _ -> () | Error e -> Alcotest.fail (P.error_to_string e));
+  match P.rts_position p with
+  | Some r -> Alcotest.(check bool) "RTS in ingress" true (r < 10)
+  | None -> Alcotest.fail "needs an RTS reply"
+
+let test_memsync_read_stage_zero () =
+  (* Preloading lets index 0 of stage 0 be read (Appendix C's point). *)
+  let p = Memsync.read_program ~stages:[ 0 ] in
+  Alcotest.(check (list int)) "access at position 0" [ 0 ]
+    (P.memory_access_positions p)
+
+let test_memsync_write_program_stages () =
+  let p = Memsync.write_program ~stages:[ 3; 7 ] in
+  Alcotest.(check (list int)) "writes at stages" [ 3; 7 ]
+    (P.memory_access_positions p)
+
+let test_memsync_invalid_stages () =
+  let expect_raises f =
+    Alcotest.(check bool) "raises" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_raises (fun () -> Memsync.read_program ~stages:[]);
+  expect_raises (fun () -> Memsync.read_program ~stages:[ 1; 2 ]);
+  expect_raises (fun () -> Memsync.read_program ~stages:[ 1; 3; 5; 7 ]);
+  expect_raises (fun () -> Memsync.read_program ~stages:[ 25 ])
+
+let test_memsync_args () =
+  Alcotest.(check (array int)) "read args" [| 7; 0; 0; 0 |] (Memsync.read_args ~index:7);
+  Alcotest.(check (array int)) "write args" [| 7; 1; 2; 0 |]
+    (Memsync.write_args ~index:7 ~values:[ 1; 2 ])
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "descriptors",
+        [
+          Alcotest.test_case "services validate" `Quick test_services_validate;
+          Alcotest.test_case "mismatched programs" `Quick
+            test_validate_rejects_mismatched_programs;
+          Alcotest.test_case "bad demands" `Quick test_validate_rejects_bad_demands;
+          Alcotest.test_case "assembly errors raise" `Quick test_program_of_assembly_raises;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "query = listing 1" `Quick test_cache_query_is_listing1;
+          Alcotest.test_case "populate skeleton" `Quick test_cache_populate_same_skeleton;
+          Alcotest.test_case "elastic" `Quick test_cache_elastic;
+          Alcotest.test_case "bucket hashing" `Quick test_cache_bucket_stable;
+          Alcotest.test_case "args" `Quick test_cache_args;
+        ] );
+      ( "heavy-hitter",
+        [
+          Alcotest.test_case "listing 2 verbatim" `Quick test_listing2_verbatim_shape;
+          Alcotest.test_case "aligned program" `Quick test_hh_aligned_program;
+          Alcotest.test_case "inelastic demand" `Quick test_hh_inelastic_demand;
+          Alcotest.test_case "args" `Quick test_hh_args;
+          Alcotest.test_case "sketch matches reference" `Quick
+            test_hh_sketch_matches_reference;
+        ] );
+      ( "cheetah-lb",
+        [
+          Alcotest.test_case "syn shape" `Quick test_lb_syn_shape;
+          Alcotest.test_case "flow shape" `Quick test_lb_flow_shape;
+          Alcotest.test_case "flow hash alignment" `Quick test_lb_flow_alignment;
+          Alcotest.test_case "pool validation" `Quick test_lb_install_pool_validation;
+        ] );
+      ( "counter",
+        [
+          Alcotest.test_case "shape" `Quick test_counter_shape;
+          Alcotest.test_case "end to end" `Quick test_counter_end_to_end;
+          Alcotest.test_case "slot hash" `Quick test_counter_slot_hash;
+        ] );
+      ( "bloom",
+        [
+          Alcotest.test_case "shape" `Quick test_bloom_shape;
+          Alcotest.test_case "membership" `Quick test_bloom_membership;
+          Alcotest.test_case "false positives" `Slow test_bloom_false_positive_rate;
+        ] );
+      ( "memsync",
+        [
+          Alcotest.test_case "listings" `Quick test_memsync_listings_shape;
+          Alcotest.test_case "read program" `Quick test_memsync_read_program_stages;
+          Alcotest.test_case "stage zero" `Quick test_memsync_read_stage_zero;
+          Alcotest.test_case "write program" `Quick test_memsync_write_program_stages;
+          Alcotest.test_case "invalid stages" `Quick test_memsync_invalid_stages;
+          Alcotest.test_case "args" `Quick test_memsync_args;
+        ] );
+    ]

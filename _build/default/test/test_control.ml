@@ -1,0 +1,284 @@
+(* Tests for the switch controller: admission, table installation,
+   consistent snapshots, auto/interactive reallocation protocols, the
+   timeout path and the cost model. *)
+
+module Controller = Activermt_control.Controller
+module Cost_model = Activermt_control.Cost_model
+module Negotiate = Activermt_client.Negotiate
+module Pkt = Activermt.Packet
+
+let params = Rmt.Params.default
+
+let fresh ?mode ?extraction_timeout_s () =
+  let device = Rmt.Device.create params in
+  (device, Controller.create ?mode ?extraction_timeout_s device)
+
+let request fid app = Negotiate.request_packet ~fid ~seq:0 app
+
+let admit_exn ctl fid app =
+  match Controller.handle_request ctl (request fid app) with
+  | Ok p -> p
+  | Error (`Rejected _) -> Alcotest.fail "rejected"
+  | Error (`Bad_packet e) -> Alcotest.fail e
+
+let cache = Activermt_apps.Cache.service
+let hh = Activermt_apps.Heavy_hitter.service
+
+let test_admission_installs_tables () =
+  let _, ctl = fresh () in
+  let p = admit_exn ctl 1 cache in
+  Alcotest.(check bool) "committed" true (p.Controller.phase = Controller.Committed);
+  Alcotest.(check bool) "tables installed" true
+    (Activermt.Table.installed (Controller.tables ctl) ~fid:1);
+  match Negotiate.granted_regions p.Controller.response with
+  | Some regions ->
+    Alcotest.(check int) "three allocated stages" 3
+      (Array.fold_left (fun n r -> if r <> None then n + 1 else n) 0 regions)
+  | None -> Alcotest.fail "granted response"
+
+let test_bad_packet () =
+  let _, ctl = fresh () in
+  let pkt = Pkt.exec ~fid:1 ~seq:0 ~args:[||] Activermt_apps.Cache.query_program in
+  match Controller.handle_request ctl pkt with
+  | Error (`Bad_packet _) -> ()
+  | _ -> Alcotest.fail "expected bad-packet error"
+
+let test_rejection () =
+  let _, ctl = fresh () in
+  for fid = 1 to 16 do
+    ignore (admit_exn ctl fid hh)
+  done;
+  match Controller.handle_request ctl (request 17 hh) with
+  | Error (`Rejected _) -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_new_region_zeroed () =
+  let device, ctl = fresh () in
+  (* Dirty the device memory, then admit: the new app's region must read
+     as zero. *)
+  let st = Rmt.Device.stage device 1 in
+  Rmt.Register_array.set st.Rmt.Device.regs 0 12345;
+  ignore (admit_exn ctl 1 cache);
+  match Controller.read_region ctl ~fid:1 ~stage:1 with
+  | Some data -> Alcotest.(check int) "zeroed" 0 data.(0)
+  | None -> Alcotest.fail "region readable"
+
+let test_control_plane_write_read () =
+  let _, ctl = fresh () in
+  ignore (admit_exn ctl 1 cache);
+  Alcotest.(check bool) "write ok" true
+    (Controller.write_region_word ctl ~fid:1 ~stage:1 ~index:5 ~value:777);
+  (match Controller.read_region ctl ~fid:1 ~stage:1 with
+  | Some data -> Alcotest.(check int) "read back" 777 data.(5)
+  | None -> Alcotest.fail "region");
+  Alcotest.(check bool) "oob write rejected" false
+    (Controller.write_region_word ctl ~fid:1 ~stage:1 ~index:70000 ~value:1);
+  Alcotest.(check bool) "wrong stage rejected" false
+    (Controller.write_region_word ctl ~fid:1 ~stage:0 ~index:0 ~value:1)
+
+let test_auto_migration_copies_data () =
+  (* A second cache arrives on the same stages under best-fit; app 1
+     shrinks and relocates, and the controller copies its old contents
+     into the new region. *)
+  let ctlb =
+    Controller.create ~scheme:Activermt_alloc.Allocator.Best_fit
+      (Rmt.Device.create params)
+  in
+  ignore (admit_exn ctlb 1 cache);
+  for i = 0 to 9 do
+    ignore (Controller.write_region_word ctlb ~fid:1 ~stage:1 ~index:i ~value:(100 + i))
+  done;
+  let p = admit_exn ctlb 2 cache in
+  Alcotest.(check (list int)) "app 1 reallocated" [ 1 ] p.Controller.reallocated;
+  match Controller.read_region ctlb ~fid:1 ~stage:1 with
+  | Some data ->
+    Alcotest.(check int) "data migrated" 105 data.(5)
+  | None -> Alcotest.fail "region"
+
+let test_snapshot_contents () =
+  let ctl =
+    Controller.create ~scheme:Activermt_alloc.Allocator.Best_fit
+      (Rmt.Device.create params)
+  in
+  ignore (admit_exn ctl 1 cache);
+  ignore (Controller.write_region_word ctl ~fid:1 ~stage:1 ~index:3 ~value:42);
+  ignore (admit_exn ctl 2 cache);
+  match Controller.snapshot_of ctl ~fid:1 with
+  | [] -> Alcotest.fail "snapshot taken"
+  | snaps ->
+    let stage1 = List.find (fun (s, _, _) -> s = 1) snaps in
+    let _, _, data = stage1 in
+    Alcotest.(check int) "snapshot has pre-move data" 42 data.(3)
+
+let test_departure_expands () =
+  let ctl =
+    Controller.create ~scheme:Activermt_alloc.Allocator.Best_fit
+      (Rmt.Device.create params)
+  in
+  ignore (admit_exn ctl 1 cache);
+  ignore (admit_exn ctl 2 cache);
+  let _timing, expanded = Controller.handle_departure ctl ~fid:1 in
+  Alcotest.(check (list int)) "app 2 expanded" [ 2 ] expanded;
+  Alcotest.(check bool) "tables removed" false
+    (Activermt.Table.installed (Controller.tables ctl) ~fid:1)
+
+let test_interactive_protocol () =
+  let ctl =
+    Controller.create ~mode:`Interactive
+      ~scheme:Activermt_alloc.Allocator.Best_fit (Rmt.Device.create params)
+  in
+  ignore (admit_exn ctl 1 cache);
+  let p = admit_exn ctl 2 cache in
+  (match p.Controller.phase with
+  | Controller.Awaiting_extraction { impacted } ->
+    Alcotest.(check (list int)) "app 1 impacted" [ 1 ] impacted
+  | Controller.Committed -> Alcotest.fail "should await extraction");
+  let tables = Controller.tables ctl in
+  Alcotest.(check bool) "app 1 quiesced" true (Activermt.Table.is_quiesced tables ~fid:1);
+  Alcotest.(check bool) "app 2 not installed yet" false
+    (Activermt.Table.installed tables ~fid:2);
+  Alcotest.(check (list int)) "pending" [ 1 ] (Controller.pending_extraction ctl);
+  Controller.complete_extraction ctl ~fid:1;
+  Alcotest.(check (list int)) "none pending" [] (Controller.pending_extraction ctl);
+  Alcotest.(check bool) "app 1 reactivated" false
+    (Activermt.Table.is_quiesced tables ~fid:1);
+  Alcotest.(check bool) "app 2 committed" true (Activermt.Table.installed tables ~fid:2);
+  Alcotest.(check bool) "app 2 reactivated" false
+    (Activermt.Table.is_quiesced tables ~fid:2)
+
+let test_interactive_no_realloc_commits_directly () =
+  let ctl = Controller.create ~mode:`Interactive (Rmt.Device.create params) in
+  let p = admit_exn ctl 1 cache in
+  Alcotest.(check bool) "committed immediately" true
+    (p.Controller.phase = Controller.Committed)
+
+let test_interactive_timeout () =
+  let ctl =
+    Controller.create ~mode:`Interactive ~extraction_timeout_s:0.5
+      ~scheme:Activermt_alloc.Allocator.Best_fit (Rmt.Device.create params)
+  in
+  ignore (admit_exn ctl 1 cache);
+  ignore (admit_exn ctl 2 cache);
+  Controller.expire ctl ~elapsed_s:0.4;
+  Alcotest.(check (list int)) "still pending" [ 1 ] (Controller.pending_extraction ctl);
+  Controller.expire ctl ~elapsed_s:0.2;
+  Alcotest.(check (list int)) "timed out" [] (Controller.pending_extraction ctl);
+  Alcotest.(check bool) "app 2 force-committed" true
+    (Activermt.Table.installed (Controller.tables ctl) ~fid:2)
+
+let test_departure_unblocks_pending () =
+  (* The impacted app departs instead of acking: the pending admission
+     must commit without waiting for the timeout. *)
+  let ctl =
+    Controller.create ~mode:`Interactive
+      ~scheme:Activermt_alloc.Allocator.Best_fit (Rmt.Device.create params)
+  in
+  ignore (admit_exn ctl 1 cache);
+  ignore (admit_exn ctl 2 cache);
+  Alcotest.(check (list int)) "waiting on app 1" [ 1 ] (Controller.pending_extraction ctl);
+  ignore (Controller.handle_departure ctl ~fid:1);
+  Alcotest.(check (list int)) "no longer pending" [] (Controller.pending_extraction ctl);
+  Alcotest.(check bool) "app 2 committed" true
+    (Activermt.Table.installed (Controller.tables ctl) ~fid:2)
+
+let test_regions_packet () =
+  let _, ctl = fresh () in
+  ignore (admit_exn ctl 1 cache);
+  (match Controller.regions_packet ctl ~fid:1 with
+  | Some pkt -> (
+    match Negotiate.granted_regions pkt with
+    | Some _ -> ()
+    | None -> Alcotest.fail "granted")
+  | None -> Alcotest.fail "resident");
+  Alcotest.(check bool) "absent fid" true (Controller.regions_packet ctl ~fid:9 = None)
+
+let test_provision_log_and_costs () =
+  let _, ctl = fresh () in
+  ignore (admit_exn ctl 1 cache);
+  ignore (admit_exn ctl 2 cache);
+  let log = Controller.provision_log ctl in
+  Alcotest.(check int) "two events" 2 (List.length log);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "positive table time" true (b.Cost_model.table_update_s > 0.0);
+      Alcotest.(check bool) "total bounded" true (Cost_model.total b < 29.0))
+    log
+
+let test_privilege_lifecycle () =
+  let _, ctl = fresh () in
+  ignore (admit_exn ctl 1 cache);
+  let tables = Controller.tables ctl in
+  Alcotest.(check bool) "default unprivileged" false
+    (Activermt.Table.is_privileged tables ~fid:1);
+  Controller.grant_privilege ctl ~fid:1;
+  Alcotest.(check bool) "granted (live reinstall)" true
+    (Activermt.Table.is_privileged tables ~fid:1);
+  Controller.revoke_privilege ctl ~fid:1;
+  Alcotest.(check bool) "revoked" false
+    (Activermt.Table.is_privileged tables ~fid:1);
+  (* Privilege configured before admission sticks at install time. *)
+  Controller.grant_privilege ctl ~fid:2;
+  ignore (admit_exn ctl 2 cache);
+  Alcotest.(check bool) "pre-configured" true
+    (Activermt.Table.is_privileged tables ~fid:2)
+
+let test_recirculation_limit_lifecycle () =
+  let _, ctl = fresh () in
+  ignore (admit_exn ctl 1 cache);
+  let tables = Controller.tables ctl in
+  Alcotest.(check (option int)) "unlimited by default" None
+    (Activermt.Table.max_passes_of tables ~fid:1);
+  Controller.limit_recirculation ctl ~fid:1 ~max_passes:2;
+  Alcotest.(check (option int)) "capped" (Some 2)
+    (Activermt.Table.max_passes_of tables ~fid:1);
+  Alcotest.(check bool) "invalid cap raises" true
+    (try
+       Controller.limit_recirculation ctl ~fid:1 ~max_passes:0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_cost_model_breakdown () =
+  let b =
+    Cost_model.breakdown Cost_model.default ~allocation_s:0.01 ~entries_updated:100
+      ~apps_touched:2 ~words_snapshotted:1000 ~notifications:3
+  in
+  Alcotest.(check (float 1e-9)) "allocation passthrough" 0.01 b.Cost_model.allocation_s;
+  Alcotest.(check (float 1e-9)) "table = entries + installs"
+    ((100.0 *. 2.5e-4) +. (2.0 *. 2.0e-2))
+    b.Cost_model.table_update_s;
+  Alcotest.(check (float 1e-12)) "snapshot" 1.0e-4 b.Cost_model.snapshot_s;
+  Alcotest.(check bool) "p4 compile dwarfs provisioning" true
+    (Cost_model.p4_compile_s > 20.0 *. Cost_model.total b)
+
+let () =
+  Alcotest.run "control"
+    [
+      ( "admission",
+        [
+          Alcotest.test_case "installs tables" `Quick test_admission_installs_tables;
+          Alcotest.test_case "bad packet" `Quick test_bad_packet;
+          Alcotest.test_case "rejection" `Quick test_rejection;
+          Alcotest.test_case "new region zeroed" `Quick test_new_region_zeroed;
+          Alcotest.test_case "control-plane rw" `Quick test_control_plane_write_read;
+        ] );
+      ( "reallocation",
+        [
+          Alcotest.test_case "auto migration" `Quick test_auto_migration_copies_data;
+          Alcotest.test_case "snapshot contents" `Quick test_snapshot_contents;
+          Alcotest.test_case "departure expands" `Quick test_departure_expands;
+          Alcotest.test_case "interactive protocol" `Quick test_interactive_protocol;
+          Alcotest.test_case "interactive no-realloc" `Quick
+            test_interactive_no_realloc_commits_directly;
+          Alcotest.test_case "interactive timeout" `Quick test_interactive_timeout;
+          Alcotest.test_case "departure unblocks pending" `Quick
+            test_departure_unblocks_pending;
+          Alcotest.test_case "regions packet" `Quick test_regions_packet;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "provision log" `Quick test_provision_log_and_costs;
+          Alcotest.test_case "privilege lifecycle" `Quick test_privilege_lifecycle;
+          Alcotest.test_case "recirculation limit" `Quick test_recirculation_limit_lifecycle;
+          Alcotest.test_case "breakdown" `Quick test_cost_model_breakdown;
+        ] );
+    ]

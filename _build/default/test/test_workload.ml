@@ -1,0 +1,221 @@
+(* Tests for workload generation: Zipf sampling, KV objects and the
+   arrival/departure (churn) traces. *)
+
+module Zipf = Workload.Zipf
+module Kv = Workload.Kv
+module Churn = Workload.Churn
+module Prng = Stdx.Prng
+
+(* -- Zipf ---------------------------------------------------------------- *)
+
+let test_zipf_range () =
+  let z = Zipf.create ~n:100 (Prng.create ~seed:1) in
+  for _ = 1 to 1000 do
+    let r = Zipf.sample z in
+    Alcotest.(check bool) "rank in range" true (r >= 0 && r < 100)
+  done
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create ~n:500 (Prng.create ~seed:1) in
+  let total = ref 0.0 in
+  for i = 0 to 499 do
+    total := !total +. Zipf.pmf z i
+  done;
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 !total
+
+let test_zipf_pmf_monotone () =
+  let z = Zipf.create ~n:100 (Prng.create ~seed:1) in
+  for i = 1 to 99 do
+    Alcotest.(check bool) "non-increasing" true (Zipf.pmf z i <= Zipf.pmf z (i - 1) +. 1e-12)
+  done
+
+let test_zipf_head_mass () =
+  let z = Zipf.create ~exponent:1.0 ~n:1000 (Prng.create ~seed:1) in
+  Alcotest.(check (float 1e-9)) "zero head" 0.0 (Zipf.head_mass z 0);
+  Alcotest.(check (float 1e-9)) "full head" 1.0 (Zipf.head_mass z 1000);
+  Alcotest.(check bool) "monotone" true (Zipf.head_mass z 10 < Zipf.head_mass z 100);
+  Alcotest.(check bool) "skewed" true (Zipf.head_mass z 100 > 0.5)
+
+let test_zipf_empirical_skew () =
+  let z = Zipf.create ~exponent:1.0 ~n:1000 (Prng.create ~seed:7) in
+  let n = 50_000 in
+  let top10 = ref 0 in
+  for _ = 1 to n do
+    if Zipf.sample z < 10 then incr top10
+  done;
+  let frac = float_of_int !top10 /. float_of_int n in
+  let expect = Zipf.head_mass z 10 in
+  Alcotest.(check bool) "empirical matches head mass" true
+    (abs_float (frac -. expect) < 0.02)
+
+let test_zipf_deterministic () =
+  let mk () = Zipf.create ~n:50 (Prng.create ~seed:3) in
+  let a = mk () and b = mk () in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Zipf.sample a) (Zipf.sample b)
+  done
+
+let test_zipf_invalid () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Zipf.create ~n:0 (Prng.create ~seed:1));
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Kv ------------------------------------------------------------------ *)
+
+let test_kv_key_roundtrip () =
+  for rank = 0 to 1000 do
+    match Kv.rank_of_key (Kv.key_of_rank rank) with
+    | Some r -> Alcotest.(check int) "roundtrip" rank r
+    | None -> Alcotest.fail "lost rank"
+  done
+
+let test_kv_garbage_key () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Kv.rank_of_key { Kv.k0 = 123; k1 = 456 } = None)
+
+let test_kv_values_nonzero () =
+  for rank = 0 to 1000 do
+    Alcotest.(check bool) "non-zero value" true (Kv.value_of_rank rank <> 0)
+  done
+
+let test_kv_keys_distinct () =
+  let keys = List.init 1000 Kv.key_of_rank in
+  Alcotest.(check int) "distinct" 1000 (List.length (List.sort_uniq compare keys))
+
+let test_kv_request_stream () =
+  let z = Zipf.create ~n:100 (Prng.create ~seed:2) in
+  let reqs = Kv.request_stream z ~n:50 in
+  Alcotest.(check int) "length" 50 (List.length reqs);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "key matches rank" true
+        (Kv.rank_of_key r.Kv.key = Some r.Kv.rank))
+    reqs
+
+(* -- Churn --------------------------------------------------------------- *)
+
+let test_churn_pure () =
+  let trace = Churn.arrivals_sequence Churn.Cache ~n:10 in
+  Alcotest.(check int) "10 epochs" 10 (List.length trace);
+  List.iteri
+    (fun i e ->
+      Alcotest.(check int) "indexed" i e.Churn.index;
+      match e.Churn.events with
+      | [ Churn.Arrive { kind = Churn.Cache; _ } ] -> ()
+      | _ -> Alcotest.fail "one cache arrival per epoch")
+    trace
+
+let test_churn_fids_unique () =
+  let rng = Prng.create ~seed:5 in
+  let trace = Churn.generate Churn.default_config ~epochs:200 rng in
+  let fids =
+    List.concat_map
+      (fun e ->
+        List.filter_map
+          (function Churn.Arrive { fid; _ } -> Some fid | Churn.Depart _ -> None)
+          e.Churn.events)
+      trace
+  in
+  Alcotest.(check int) "unique fids" (List.length fids)
+    (List.length (List.sort_uniq compare fids))
+
+let test_churn_departures_only_alive () =
+  let rng = Prng.create ~seed:6 in
+  let trace = Churn.generate Churn.default_config ~epochs:300 rng in
+  let alive = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      List.iter
+        (function
+          | Churn.Arrive { fid; _ } -> Hashtbl.replace alive fid ()
+          | Churn.Depart { fid } ->
+            Alcotest.(check bool) "departing fid is alive" true (Hashtbl.mem alive fid);
+            Hashtbl.remove alive fid)
+        e.Churn.events)
+    trace
+
+let test_churn_rates () =
+  let rng = Prng.create ~seed:7 in
+  let epochs = 2000 in
+  let trace = Churn.generate Churn.default_config ~epochs rng in
+  let arr = ref 0 and dep = ref 0 in
+  List.iter
+    (fun e ->
+      List.iter
+        (function Churn.Arrive _ -> incr arr | Churn.Depart _ -> incr dep)
+        e.Churn.events)
+    trace;
+  let arr_rate = float_of_int !arr /. float_of_int epochs in
+  let dep_rate = float_of_int !dep /. float_of_int epochs in
+  Alcotest.(check bool) "arrival mean ~2" true (arr_rate > 1.85 && arr_rate < 2.15);
+  Alcotest.(check bool) "departure mean ~1" true (dep_rate > 0.85 && dep_rate < 1.15)
+
+let test_churn_mixed_kinds () =
+  let rng = Prng.create ~seed:8 in
+  let trace = Churn.mixed_arrivals ~n:300 rng in
+  let kinds =
+    List.filter_map
+      (fun e ->
+        match e.Churn.events with
+        | [ Churn.Arrive { kind; _ } ] -> Some kind
+        | _ -> None)
+      trace
+  in
+  Alcotest.(check int) "all three kinds appear" 3
+    (List.length (List.sort_uniq compare kinds))
+
+let test_churn_extended_kinds () =
+  Alcotest.(check int) "five extended kinds" 5 (Array.length Churn.extended_kinds);
+  Alcotest.(check int) "three paper kinds" 3 (Array.length Churn.all_kinds);
+  let rng = Prng.create ~seed:12 in
+  let trace = Churn.generate Churn.extended_config ~epochs:400 rng in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      List.iter
+        (function
+          | Churn.Arrive { kind; _ } -> Hashtbl.replace seen kind ()
+          | Churn.Depart _ -> ())
+        e.Churn.events)
+    trace;
+  Alcotest.(check int) "all five kinds arrive" 5 (Hashtbl.length seen)
+
+let test_churn_deterministic () =
+  let t1 = Churn.generate Churn.default_config ~epochs:50 (Prng.create ~seed:9) in
+  let t2 = Churn.generate Churn.default_config ~epochs:50 (Prng.create ~seed:9) in
+  Alcotest.(check bool) "same trace" true (t1 = t2)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "range" `Quick test_zipf_range;
+          Alcotest.test_case "pmf sums" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "pmf monotone" `Quick test_zipf_pmf_monotone;
+          Alcotest.test_case "head mass" `Quick test_zipf_head_mass;
+          Alcotest.test_case "empirical skew" `Quick test_zipf_empirical_skew;
+          Alcotest.test_case "deterministic" `Quick test_zipf_deterministic;
+          Alcotest.test_case "invalid" `Quick test_zipf_invalid;
+        ] );
+      ( "kv",
+        [
+          Alcotest.test_case "key roundtrip" `Quick test_kv_key_roundtrip;
+          Alcotest.test_case "garbage key" `Quick test_kv_garbage_key;
+          Alcotest.test_case "values non-zero" `Quick test_kv_values_nonzero;
+          Alcotest.test_case "keys distinct" `Quick test_kv_keys_distinct;
+          Alcotest.test_case "request stream" `Quick test_kv_request_stream;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "pure sequence" `Quick test_churn_pure;
+          Alcotest.test_case "unique fids" `Quick test_churn_fids_unique;
+          Alcotest.test_case "departures alive" `Quick test_churn_departures_only_alive;
+          Alcotest.test_case "rates" `Quick test_churn_rates;
+          Alcotest.test_case "mixed kinds" `Quick test_churn_mixed_kinds;
+          Alcotest.test_case "extended kinds" `Quick test_churn_extended_kinds;
+          Alcotest.test_case "deterministic" `Quick test_churn_deterministic;
+        ] );
+    ]
