@@ -1,0 +1,1 @@
+bench/alloc_bench.ml: Activermt_alloc Activermt_apps Array Experiments List Printf Rmt Stdx String Unix Workload

@@ -1,1 +1,1 @@
-bench/main.ml: Array Experiments List Micro Printf Rmt Sys
+bench/main.ml: Alloc_bench Array Experiments List Micro Printf Rmt Sys

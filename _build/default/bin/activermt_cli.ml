@@ -92,8 +92,8 @@ and cmd_mutants path policy =
     mutants;
   if List.length mutants > 50 then print_endline "  ..."
 
-and cmd_allocsim spec_str scheme policy =
-  let alloc = Allocator.create ~scheme ~policy params in
+and cmd_allocsim spec_str scheme policy domains =
+  let alloc = Allocator.create ~scheme ~policy ~domains params in
   let next_fid = ref 0 in
   let service_of = function
     | "cache" -> Some Activermt_apps.Cache.service
@@ -237,10 +237,18 @@ let mutants_cmd =
   Cmd.v (Cmd.info "mutants" ~doc:"enumerate program mutants")
     Term.(const cmd_mutants $ path_arg $ policy_arg)
 
+let domains_arg =
+  Arg.value
+    (Arg.opt Arg.int 1
+       (Arg.info [ "domains" ] ~docv:"N"
+          ~doc:"Scoring fan-out width: mutants are scored on $(docv) domains \
+                against a per-arrival occupancy snapshot; decisions are \
+                identical at any width."))
+
 let allocsim_cmd =
   let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"cache,hh,lb,...") in
   Cmd.v (Cmd.info "allocsim" ~doc:"replay arrivals against the allocator")
-    Term.(const cmd_allocsim $ spec $ scheme_arg $ policy_arg)
+    Term.(const cmd_allocsim $ spec $ scheme_arg $ policy_arg $ domains_arg)
 
 let trace_cmd =
   let args_arg =

@@ -1,1 +1,1 @@
-lib/alloc/allocator.ml: Activermt Array Hashtbl Import List Mutant Option Pool Printf Rmt Spec Sys
+lib/alloc/allocator.ml: Activermt Array Hashtbl Import List Mutant Option Pool Printf Rmt Spec Stdx Unix

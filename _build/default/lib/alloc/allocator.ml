@@ -59,13 +59,14 @@ type t = {
   mutant_limit : int;
   pools : Pool.t array;
   apps : (int, app) Hashtbl.t;
-  mutants_cache : (spec_key, Mutant.t list) Hashtbl.t;
+  mutants_cache : (spec_key, Mutant.t array) Hashtbl.t;
       (* mutant sets depend only on the program shape, so the controller
          enumerates each shape once (clients cache them likewise) *)
+  dpool : Stdx.Domain_pool.t;  (* fan-out width for mutant scoring *)
 }
 
 let create ?(scheme = Worst_fit) ?(policy = Mutant.Most_constrained)
-    ?(mutant_limit = 4096) params =
+    ?(mutant_limit = 4096) ?(domains = 1) params =
   {
     params;
     scheme;
@@ -76,6 +77,7 @@ let create ?(scheme = Worst_fit) ?(policy = Mutant.Most_constrained)
           Pool.create ~total_blocks:params.Rmt.Params.blocks_per_stage);
     apps = Hashtbl.create 256;
     mutants_cache = Hashtbl.create 16;
+    dpool = Stdx.Domain_pool.create ~size:domains ();
   }
 
 let mutants_of t (spec : Spec.t) =
@@ -90,13 +92,16 @@ let mutants_of t (spec : Spec.t) =
   match Hashtbl.find_opt t.mutants_cache key with
   | Some ms -> ms
   | None ->
-    let ms = Mutant.enumerate ~limit:t.mutant_limit t.params t.policy spec in
+    let ms =
+      Array.of_list (Mutant.enumerate ~limit:t.mutant_limit t.params t.policy spec)
+    in
     Hashtbl.replace t.mutants_cache key ms;
     ms
 
 let params t = t.params
 let scheme t = t.scheme
 let policy t = t.policy
+let domains t = Stdx.Domain_pool.size t.dpool
 let resident t = Hashtbl.fold (fun fid _ acc -> fid :: acc) t.apps []
 let is_resident t ~fid = Hashtbl.mem t.apps fid
 
@@ -133,38 +138,64 @@ let max_apps_per_stage t =
   let w = t.params.Rmt.Params.mar_bits in
   max 1 (t.params.Rmt.Params.tcam_entries_per_stage / ((2 * w) - 2))
 
-let feasible t (a : arrival) demand =
-  List.for_all
-    (fun (s, d) ->
-      let pool = t.pools.(s) in
-      List.length (Pool.slots pool) + 1 <= max_apps_per_stage t
-      &&
-      if a.elastic then Pool.can_fit_elastic pool ~min_blocks:d
-      else Pool.can_fit_inelastic pool ~blocks:d)
-    demand
+(* Per-admit snapshot of every pool's occupancy as flat int arrays
+   (struct-of-arrays): O(stages) to build from the pools' O(1) counters,
+   after which per-mutant feasibility and cost are pure array lookups with
+   zero allocation — safe to score from any number of domains because the
+   snapshot is never written during scoring. *)
+type snapshot = {
+  snap_fungible : int array;
+  snap_slots : int array;  (* resident count per stage *)
+  snap_elastic : int array;  (* elastic resident count per stage *)
+  snap_max_hole : int array;  (* largest pinned-zone hole; -1 = not computed *)
+}
+
+let snapshot t ~elastic =
+  let n = Array.length t.pools in
+  {
+    snap_fungible = Array.init n (fun s -> Pool.fungible_blocks t.pools.(s));
+    snap_slots = Array.init n (fun s -> Pool.n_slots t.pools.(s));
+    snap_elastic = Array.init n (fun s -> Pool.n_elastic t.pools.(s));
+    (* Hole scans are O(blocks) per stage; only inelastic placement ever
+       consults them. *)
+    snap_max_hole =
+      (if elastic then Array.make n (-1)
+       else Array.init n (fun s -> Pool.max_hole t.pools.(s)));
+  }
+
+let feasible_snap snap ~max_apps ~elastic stages demands =
+  let ok = ref true in
+  let k = Array.length stages in
+  let j = ref 0 in
+  while !ok && !j < k do
+    let s = stages.(!j) and d = demands.(!j) in
+    ok :=
+      snap.snap_slots.(s) + 1 <= max_apps
+      && d > 0
+      && (if elastic then snap.snap_fungible.(s) >= d
+          else snap.snap_max_hole.(s) >= d || snap.snap_fungible.(s) >= d);
+    incr j
+  done;
+  !ok
 
 (* Per-stage costs follow the paper's f(x) = g(x) . C with C >= 0, so
    using additional stages is never free: worst-fit charges a stage by how
    much of it is *not* fungible, best-fit by how much is. *)
-let mutant_cost t (a : arrival) demand =
-  let stages = List.map fst demand in
-  let total = t.params.Rmt.Params.blocks_per_stage in
-  match t.scheme with
+let cost_snap snap ~scheme ~total_blocks stages =
+  match scheme with
   | First_fit -> 0.0
   | Worst_fit ->
-    List.fold_left
-      (fun acc s ->
-        acc +. float_of_int (total - Pool.fungible_blocks t.pools.(s)))
-      0.0 stages
+    let c = ref 0 in
+    Array.iter (fun s -> c := !c + total_blocks - snap.snap_fungible.(s)) stages;
+    float_of_int !c
   | Best_fit ->
-    List.fold_left
-      (fun acc s -> acc +. float_of_int (Pool.fungible_blocks t.pools.(s)))
-      0.0 stages
+    let c = ref 0 in
+    Array.iter (fun s -> c := !c + snap.snap_fungible.(s)) stages;
+    float_of_int !c
   | Min_realloc ->
-    ignore a;
-    List.fold_left
-      (fun acc s -> acc +. float_of_int (Pool.n_elastic t.pools.(s)))
-      0.0 stages
+    let c = ref 0 in
+    Array.iter (fun s -> c := !c + snap.snap_elastic.(s)) stages;
+    float_of_int !c
 
 let merged_demand (a : arrival) mutant =
   Mutant.demand_by_stage mutant ~demand_blocks:a.demand_blocks
@@ -221,32 +252,50 @@ let admit t (a : arrival) =
     invalid_arg (Printf.sprintf "Allocator.admit: fid %d already resident" a.fid);
   if Array.length a.demand_blocks <> Array.length a.spec.Spec.accesses then
     invalid_arg "Allocator.admit: demand_blocks does not match spec accesses";
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let mutants = mutants_of t a.spec in
-  let considered = List.length mutants in
-  let scored =
-    List.filteri (fun _ _ -> true) mutants
-    |> List.filter_map (fun m ->
-           let demand = merged_demand a m in
-           if feasible t a demand then Some (m, demand, mutant_cost t a demand)
-           else None)
-  in
-  let feasible_count = List.length scored in
-  let best =
-    match t.scheme with
-    | First_fit -> (match scored with [] -> None | x :: _ -> Some x)
-    | Worst_fit | Best_fit | Min_realloc ->
-      List.fold_left
-        (fun acc ((_, _, c) as cand) ->
-          match acc with
-          | None -> Some cand
-          | Some (_, _, c') -> if c < c' then Some cand else acc)
-        None scored
-  in
-  match best with
-  | None ->
-    Rejected { considered_mutants = considered; compute_time_s = Sys.time () -. t0 }
-  | Some (mutant, demand, _cost) ->
+  let considered = Array.length mutants in
+  let snap = snapshot t ~elastic:a.elastic in
+  let max_apps = max_apps_per_stage t in
+  let scheme = t.scheme in
+  let total_blocks = t.params.Rmt.Params.blocks_per_stage in
+  let demand_blocks = a.demand_blocks in
+  let elastic = a.elastic in
+  let feas = Array.make considered false in
+  let costs = Array.make considered infinity in
+  (* Score every mutant against the immutable snapshot; each index writes
+     only its own cells, so the fan-out is race-free and the reduce below
+     is bit-identical at any pool size. *)
+  Stdx.Domain_pool.parallel_for t.dpool ~n:considered ~f:(fun i ->
+      let stages, demands =
+        Mutant.demand_by_stage_arrays mutants.(i) ~demand_blocks
+      in
+      if feasible_snap snap ~max_apps ~elastic stages demands then begin
+        feas.(i) <- true;
+        costs.(i) <- cost_snap snap ~scheme ~total_blocks stages
+      end);
+  (* Deterministic reduce: first-fit takes the lowest feasible index; the
+     cost schemes take the minimum cost with ties to the lowest index —
+     exactly the sequential fold over the former scored list. *)
+  let feasible_count = ref 0 in
+  let best = ref (-1) in
+  for i = 0 to considered - 1 do
+    if feas.(i) then begin
+      incr feasible_count;
+      match scheme with
+      | First_fit -> if !best < 0 then best := i
+      | Worst_fit | Best_fit | Min_realloc ->
+        if !best < 0 || costs.(i) < costs.(!best) then best := i
+    end
+  done;
+  let feasible_count = !feasible_count in
+  match !best with
+  | -1 ->
+    Rejected
+      { considered_mutants = considered; compute_time_s = Unix.gettimeofday () -. t0 }
+  | best ->
+    let mutant = mutants.(best) in
+    let demand = merged_demand a mutant in
     let stages = List.map fst demand in
     let before = snapshot_layouts t stages in
     let own_layout = ref [] in
@@ -290,7 +339,7 @@ let admit t (a : arrival) =
         reallocated;
         considered_mutants = considered;
         feasible_mutants = feasible_count;
-        compute_time_s = Sys.time () -. t0;
+        compute_time_s = Unix.gettimeofday () -. t0;
       }
 
 let depart t ~fid =
@@ -299,7 +348,8 @@ let depart t ~fid =
   | Some app ->
     let stages = List.map fst app.app_demand in
     let before = snapshot_layouts t stages in
-    Array.iter (fun pool -> ignore (Pool.remove pool ~fid)) t.pools;
+    (* The app only ever holds blocks on its demand stages. *)
+    List.iter (fun s -> ignore (Pool.remove t.pools.(s) ~fid)) stages;
     Hashtbl.remove t.apps fid;
     refresh_layouts t stages;
     diff_reallocated t (List.filter (fun (f, _) -> f <> fid) before)

@@ -51,13 +51,24 @@ val create :
   ?scheme:scheme ->
   ?policy:Mutant.policy ->
   ?mutant_limit:int ->
+  ?domains:int ->
   Rmt.Params.t ->
   t
-(** Defaults: worst-fit (the prototype's choice) and most-constrained. *)
+(** Defaults: worst-fit (the prototype's choice) and most-constrained.
+
+    [domains] (default 1) is the fan-out width for mutant scoring: each
+    admission snapshots per-stage occupancy once and scores candidates
+    against it on that many domains.  Outcomes are bit-identical at any
+    width — scoring is read-only over the snapshot and the reduce is a
+    deterministic min-cost/lowest-index fold — so the knob trades cores
+    for allocation latency only. *)
 
 val params : t -> Rmt.Params.t
 val scheme : t -> scheme
 val policy : t -> Mutant.policy
+
+val domains : t -> int
+(** The scoring fan-out width [create] was given (>= 1). *)
 
 val admit : t -> arrival -> outcome
 (** @raise Invalid_argument if the FID is already resident or the demand

@@ -7,6 +7,9 @@ type slot = { fid : int; range : range; min_blocks : int; elastic : bool }
 type islot = { ifid : int; mutable irange : range }
 type eslot = { efid : int; emin : int; mutable erange : range }
 
+(* [c_*] counters mirror folds over the slot lists so the admission fast
+   path reads occupancy in O(1); they are maintained on every mutation and
+   the tests re-derive them from [slots] as oracles. *)
 type t = {
   total : int;
   mutable inelastic : islot list;  (* sorted by first_block *)
@@ -14,6 +17,12 @@ type t = {
   map : int array;  (* block -> owning fid, or -1: the block-granular
                        bookkeeping a real controller maintains *)
   mutable dirty : bool;
+  mutable c_pinned : int;  (* sum of inelastic n_blocks *)
+  mutable c_eblocks : int;  (* sum of elastic n_blocks (current shares) *)
+  mutable c_hw : int;  (* max range_end over inelastic *)
+  mutable c_emin : int;  (* sum of elastic minimums *)
+  mutable c_n_inelastic : int;
+  mutable c_n_elastic : int;
 }
 
 let create ~total_blocks =
@@ -24,6 +33,12 @@ let create ~total_blocks =
     elastic = [];
     map = Array.make total_blocks (-1);
     dirty = false;
+    c_pinned = 0;
+    c_eblocks = 0;
+    c_hw = 0;
+    c_emin = 0;
+    c_n_inelastic = 0;
+    c_n_elastic = 0;
   }
 
 let rebuild_map t =
@@ -46,16 +61,11 @@ let map t =
   t.map
 
 let total_blocks t = t.total
-
-let high_water t =
-  List.fold_left (fun acc s -> max acc (range_end s.irange)) 0 t.inelastic
-
-let elastic_min_total t = List.fold_left (fun acc s -> acc + s.emin) 0 t.elastic
-let n_elastic t = List.length t.elastic
-
-let used_blocks t =
-  List.fold_left (fun acc s -> acc + s.irange.n_blocks) 0 t.inelastic
-  + List.fold_left (fun acc s -> acc + s.erange.n_blocks) 0 t.elastic
+let high_water t = t.c_hw
+let elastic_min_total t = t.c_emin
+let n_elastic t = t.c_n_elastic
+let n_slots t = t.c_n_inelastic + t.c_n_elastic
+let used_blocks t = t.c_pinned + t.c_eblocks
 
 let slots t =
   List.map
@@ -69,7 +79,7 @@ let slots t =
 let slot_of t ~fid =
   List.find_opt (fun s -> s.fid = fid) (slots t)
 
-let fungible_blocks t = t.total - high_water t - elastic_min_total t
+let fungible_blocks t = t.total - t.c_hw - t.c_emin
 
 (* Holes inside the pinned zone, found by scanning the block map up to the
    high-water mark — O(blocks), the honest cost of block-granular
@@ -94,6 +104,8 @@ let holes t =
   if !start >= 0 then out := (!start, hw - !start) :: !out;
   List.rev !out
 
+let max_hole t = List.fold_left (fun acc (_, gap) -> max acc gap) 0 (holes t)
+
 let can_fit_inelastic t ~blocks =
   blocks > 0
   && (List.exists (fun (_, gap) -> gap >= blocks) (holes t)
@@ -116,6 +128,9 @@ let add_inelastic t ~fid ~blocks =
   let place first_block =
     let r = { first_block; n_blocks = blocks } in
     t.inelastic <- insert_sorted { ifid = fid; irange = r } t.inelastic;
+    t.c_pinned <- t.c_pinned + blocks;
+    t.c_hw <- max t.c_hw (range_end r);
+    t.c_n_inelastic <- t.c_n_inelastic + 1;
     t.dirty <- true;
     Ok r
   in
@@ -129,20 +144,43 @@ let add_elastic t ~fid ~min_blocks =
   if fungible_blocks t >= min_blocks then begin
     t.elastic <-
       t.elastic @ [ { efid = fid; emin = min_blocks; erange = { first_block = 0; n_blocks = 0 } } ];
+    t.c_emin <- t.c_emin + min_blocks;
+    t.c_n_elastic <- t.c_n_elastic + 1;
     t.dirty <- true;
     Ok ()
   end
   else Error `No_space
 
 let remove t ~fid =
-  let had =
-    List.exists (fun s -> s.ifid = fid) t.inelastic
-    || List.exists (fun s -> s.efid = fid) t.elastic
-  in
-  t.inelastic <- List.filter (fun s -> s.ifid <> fid) t.inelastic;
-  t.elastic <- List.filter (fun s -> s.efid <> fid) t.elastic;
+  let had = ref false in
+  t.inelastic <-
+    List.filter
+      (fun s ->
+        if s.ifid = fid then begin
+          had := true;
+          t.c_pinned <- t.c_pinned - s.irange.n_blocks;
+          t.c_n_inelastic <- t.c_n_inelastic - 1;
+          false
+        end
+        else true)
+      t.inelastic;
+  t.elastic <-
+    List.filter
+      (fun s ->
+        if s.efid = fid then begin
+          had := true;
+          t.c_eblocks <- t.c_eblocks - s.erange.n_blocks;
+          t.c_emin <- t.c_emin - s.emin;
+          t.c_n_elastic <- t.c_n_elastic - 1;
+          false
+        end
+        else true)
+      t.elastic;
+  (* The high-water mark can drop when a pinned resident leaves; departures
+     are rare relative to O(1) reads, so re-fold it here. *)
+  t.c_hw <- List.fold_left (fun acc s -> max acc (range_end s.irange)) 0 t.inelastic;
   t.dirty <- true;
-  had
+  !had
 
 (* Max-min fair shares with minimums over [budget] blocks: water-fill,
    then hand out integer remainders in arrival order. *)
@@ -209,6 +247,7 @@ let refill_elastic t =
       s.erange <- { first_block = !cursor; n_blocks = shares.(i) };
       cursor := !cursor + shares.(i))
     apps;
+  t.c_eblocks <- Array.fold_left ( + ) 0 shares;
   t.dirty <- true;
   ignore (map t);
   Array.to_list (Array.map (fun s -> (s.efid, s.erange)) apps)

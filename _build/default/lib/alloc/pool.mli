@@ -21,7 +21,8 @@ type t
 val create : total_blocks:int -> t
 val total_blocks : t -> int
 val high_water : t -> int
-(** Top of the pinned (inelastic) zone. *)
+(** Top of the pinned (inelastic) zone.  O(1): maintained as a counter on
+    add/remove, like [used_blocks], [n_slots] and [elastic_min_total]. *)
 
 val used_blocks : t -> int
 val slots : t -> slot list
@@ -30,12 +31,20 @@ val slots : t -> slot list
 
 val slot_of : t -> fid:int -> slot option
 val n_elastic : t -> int
+val n_slots : t -> int
+(** Total resident slots, inelastic plus elastic. *)
+
 val elastic_min_total : t -> int
 
 val fungible_blocks : t -> int
 (** Free blocks plus blocks elastic residents could yield while keeping
     their minimums: total - high_water - sum of elastic minimums.  The
     cost metric behind worst-fit/best-fit (Section 4.2). *)
+
+val max_hole : t -> int
+(** Largest free hole inside the pinned zone (0 when none) — with
+    [fungible_blocks], everything admission feasibility needs; snapshotted
+    once per arrival by the allocator's fast path. *)
 
 val can_fit_inelastic : t -> blocks:int -> bool
 (** Is there a hole or enough fungible headroom for a pinned region? *)

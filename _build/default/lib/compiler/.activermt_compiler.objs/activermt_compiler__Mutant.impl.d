@@ -1,1 +1,1 @@
-lib/compiler/mutant.ml: Activermt Array Hashtbl List Option Rmt Spec
+lib/compiler/mutant.ml: Activermt Array Hashtbl List Mutex Rmt Spec

@@ -83,15 +83,35 @@ let dfs ~ub ~lb ~m ~visit =
 
 let hard_cap = 2_000_000
 
-let enumerate ?(limit = 4096) params policy (spec : Spec.t) =
+let bounds params policy (spec : Spec.t) =
+  let n = params.Rmt.Params.logical_stages in
+  let ingress = params.Rmt.Params.ingress_stages in
+  let max_passes = max_passes_of_policy params spec policy in
+  let ub = Spec.upper_bounds spec ~n_stages:n ~ingress ~max_passes in
+  let lb = Spec.lower_bounds spec in
+  (ub, lb)
+
+(* Materialize every stride-th candidate of the lexicographic sequence. *)
+let materialize ~stride ~limit params spec ~ub ~lb ~m =
+  let acc = ref [] in
+  let idx = ref 0 in
+  let kept = ref 0 in
+  dfs ~ub ~lb ~m ~visit:(fun shifts ->
+      if !idx mod stride = 0 then begin
+        acc := build params spec (Array.copy shifts) :: !acc;
+        incr kept
+      end;
+      incr idx;
+      !idx < hard_cap && !kept < limit);
+  List.rev !acc
+
+(* The seed's two-pass enumeration, kept verbatim as the oracle the
+   property tests hold the single-pass version to. *)
+let enumerate_reference ?(limit = 4096) params policy (spec : Spec.t) =
   let m = Array.length spec.Spec.accesses in
   if m = 0 then [ build params spec [||] ]
   else begin
-    let n = params.Rmt.Params.logical_stages in
-    let ingress = params.Rmt.Params.ingress_stages in
-    let max_passes = max_passes_of_policy params spec policy in
-    let ub = Spec.upper_bounds spec ~n_stages:n ~ingress ~max_passes in
-    let lb = Spec.lower_bounds spec in
+    let ub, lb = bounds params policy spec in
     (* Pass 1: count the feasible placements (no allocation). *)
     let total = ref 0 in
     dfs ~ub ~lb ~m ~visit:(fun _ ->
@@ -100,17 +120,76 @@ let enumerate ?(limit = 4096) params policy (spec : Spec.t) =
     let total = !total in
     let stride = if total <= limit then 1 else (total + limit - 1) / limit in
     (* Pass 2: materialize every stride-th candidate. *)
-    let acc = ref [] in
-    let idx = ref 0 in
-    let kept = ref 0 in
-    dfs ~ub ~lb ~m ~visit:(fun shifts ->
-        if !idx mod stride = 0 then begin
-          acc := build params spec (Array.copy shifts) :: !acc;
-          incr kept
-        end;
-        incr idx;
-        !idx < hard_cap && !kept < limit);
-    List.rev !acc
+    materialize ~stride ~limit params spec ~ub ~lb ~m
+  end
+
+(* The DFS tree — and so the feasible-space count — depends only on the
+   per-access shift headroom [ub - lb], so counts are memoized on that
+   shape across allocator instances (the evaluation harness builds a fresh
+   allocator per trial but replays the same programs).  Guarded by a mutex
+   because allocators may score mutants from several domains. *)
+let count_memo : (int array, int) Hashtbl.t = Hashtbl.create 64
+let count_memo_mutex = Mutex.create ()
+
+let shape_of ~ub ~lb ~m = Array.init m (fun i -> ub.(i) - lb.(i))
+
+let memo_find shape =
+  Mutex.protect count_memo_mutex (fun () -> Hashtbl.find_opt count_memo shape)
+
+let memo_add shape total =
+  Mutex.protect count_memo_mutex (fun () -> Hashtbl.replace count_memo shape total)
+
+(* Cold enumerations buffer candidates while counting so spaces up to
+   [keep_cap] need no second DFS walk; bigger spaces fall back to a
+   materialize pass with the now-known stride (and the memoized count makes
+   every later enumeration of the shape single-pass). *)
+let keep_cap = 65_536
+
+let enumerate ?(limit = 4096) params policy (spec : Spec.t) =
+  let m = Array.length spec.Spec.accesses in
+  if m = 0 then [ build params spec [||] ]
+  else begin
+    let ub, lb = bounds params policy spec in
+    let shape = shape_of ~ub ~lb ~m in
+    match memo_find shape with
+    | Some total ->
+      let stride = if total <= limit then 1 else (total + limit - 1) / limit in
+      materialize ~stride ~limit params spec ~ub ~lb ~m
+    | None ->
+      let cap = max limit keep_cap in
+      let buf = ref [] in
+      let buffered = ref 0 in
+      let overflow = ref false in
+      let total = ref 0 in
+      dfs ~ub ~lb ~m ~visit:(fun shifts ->
+          if not !overflow then begin
+            if !buffered < cap then begin
+              buf := Array.copy shifts :: !buf;
+              incr buffered
+            end
+            else begin
+              overflow := true;
+              buf := []
+            end
+          end;
+          incr total;
+          !total < hard_cap);
+      let total = !total in
+      memo_add shape total;
+      let stride = if total <= limit then 1 else (total + limit - 1) / limit in
+      if !overflow then materialize ~stride ~limit params spec ~ub ~lb ~m
+      else begin
+        (* Single pass: the buffer holds the whole space in reverse
+           lexicographic order; keep every stride-th, as pass 2 would. *)
+        let out = ref [] in
+        List.iteri
+          (fun rev_i shifts ->
+            let idx = total - 1 - rev_i in
+            if idx mod stride = 0 && idx / stride < limit then
+              out := build params spec shifts :: !out)
+          !buf;
+        !out
+      end
   end
 
 let count ?limit params policy spec =
@@ -139,17 +218,42 @@ let synthesize (spec : Spec.t) t =
     ~name:(spec.Spec.program.Activermt.Program.name ^ "+mutant")
     (List.rev !out)
 
-let demand_by_stage t ~demand_blocks =
-  if Array.length demand_blocks <> Array.length t.stages then
+(* Accesses that land on the same stage (recirculating programs) share
+   the app's single region there, so the stage needs the largest of
+   their demands — e.g. the heavy hitter's threshold read and write.
+   Programs carry at most 8 accesses, so the merge is a pair of flat
+   arrays with insertion sort: no hashtable, no list, suitable for the
+   allocator's per-mutant scoring loop. *)
+let demand_by_stage_arrays t ~demand_blocks =
+  let m = Array.length t.stages in
+  if Array.length demand_blocks <> m then
     invalid_arg "Mutant.demand_by_stage: demand length mismatch";
-  (* Accesses that land on the same stage (recirculating programs) share
-     the app's single region there, so the stage needs the largest of
-     their demands — e.g. the heavy hitter's threshold read and write. *)
-  let tbl = Hashtbl.create 8 in
-  Array.iteri
-    (fun i s ->
-      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl s) in
-      Hashtbl.replace tbl s (max cur demand_blocks.(i)))
-    t.stages;
-  Hashtbl.fold (fun s d acc -> (s, d) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  let stages = Array.make m 0 in
+  let demands = Array.make m 0 in
+  let k = ref 0 in
+  for i = 0 to m - 1 do
+    let s = t.stages.(i) in
+    let j = ref (-1) in
+    for q = 0 to !k - 1 do
+      if stages.(q) = s then j := q
+    done;
+    if !j >= 0 then demands.(!j) <- max demands.(!j) demand_blocks.(i)
+    else begin
+      (* insert keeping [stages] sorted *)
+      let p = ref !k in
+      while !p > 0 && stages.(!p - 1) > s do
+        stages.(!p) <- stages.(!p - 1);
+        demands.(!p) <- demands.(!p - 1);
+        decr p
+      done;
+      stages.(!p) <- s;
+      demands.(!p) <- demand_blocks.(i);
+      incr k
+    end
+  done;
+  if !k = m then (stages, demands)
+  else (Array.sub stages 0 !k, Array.sub demands 0 !k)
+
+let demand_by_stage t ~demand_blocks =
+  let stages, demands = demand_by_stage_arrays t ~demand_blocks in
+  Array.to_list (Array.mapi (fun i s -> (s, demands.(i))) stages)

@@ -1,0 +1,1 @@
+lib/stdx/domain_pool.mli:

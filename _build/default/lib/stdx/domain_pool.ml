@@ -1,0 +1,50 @@
+type t = { size : int }
+
+let default_size () = Domain.recommended_domain_count ()
+
+let create ?size () =
+  let size = match size with Some n -> max 1 n | None -> default_size () in
+  { size }
+
+let size t = t.size
+
+(* Below this many indices per would-be worker a Domain.spawn costs more
+   than the chunk it would run; fall back to the caller's domain. *)
+let min_chunk = 256
+
+(* Work is split into [size] contiguous chunks; the calling domain takes
+   the first chunk so a pool of size 1 never spawns.  Chunks are disjoint
+   index ranges, so [f] may write to distinct cells of a shared array
+   without synchronization. *)
+let parallel_for t ~n ~f =
+  if n > 0 then begin
+    if t.size = 1 || n < min_chunk * t.size then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let chunk = (n + t.size - 1) / t.size in
+      let run lo hi =
+        for i = lo to hi - 1 do
+          f i
+        done
+      in
+      let workers =
+        List.init (t.size - 1) (fun w ->
+            let lo = (w + 1) * chunk in
+            let hi = min n (lo + chunk) in
+            Domain.spawn (fun () -> run lo hi))
+      in
+      run 0 (min n chunk);
+      List.iter Domain.join workers
+    end
+  end
+
+let map t ~f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f arr.(0)) in
+    parallel_for t ~n:(n - 1) ~f:(fun i -> out.(i + 1) <- f arr.(i + 1));
+    out
+  end

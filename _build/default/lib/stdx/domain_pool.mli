@@ -1,0 +1,29 @@
+(** Chunked parallel iteration over OCaml 5 domains.
+
+    A pool is a fan-out width, not live threads: each [parallel_for] call
+    spawns [size - 1] short-lived domains over contiguous index chunks and
+    runs the first chunk on the caller, so a pool of size 1 (the
+    sequential fallback) never spawns and adds no overhead.  Results are
+    deterministic whenever [f] is — chunking fixes which domain runs which
+    index but not any observable order-dependent state, so callers must
+    only write to per-index cells (or otherwise commute). *)
+
+type t
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count ()] — the size [create] defaults to. *)
+
+val create : ?size:int -> unit -> t
+(** [size] defaults to [Domain.recommended_domain_count ()]; values below
+    1 are clamped to 1. *)
+
+val size : t -> int
+
+val parallel_for : t -> n:int -> f:(int -> unit) -> unit
+(** Apply [f] to every index in [0, n).  [f] runs on the caller when the
+    pool is sequential or [n] is too small to amortize a spawn; otherwise
+    on [size] domains over disjoint chunks.  [f] must be safe to run
+    concurrently with itself on distinct indices. *)
+
+val map : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] via [parallel_for]. *)

@@ -1,1 +1,1 @@
-test/test_alloc.ml: Activermt Activermt_alloc Activermt_apps Activermt_compiler Alcotest Array Gen List Option QCheck QCheck_alcotest Rmt
+test/test_alloc.ml: Activermt Activermt_alloc Activermt_apps Activermt_compiler Alcotest Array Gen List Option Printf QCheck QCheck_alcotest Rmt

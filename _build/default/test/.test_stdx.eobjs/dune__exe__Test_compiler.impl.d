@@ -1,1 +1,1 @@
-test/test_compiler.ml: Activermt Activermt_apps Activermt_compiler Alcotest Array List QCheck QCheck_alcotest Rmt
+test/test_compiler.ml: Activermt Activermt_apps Activermt_compiler Alcotest Array Hashtbl List Option QCheck QCheck_alcotest Rmt

@@ -1,1 +1,1 @@
-test/test_stdx.ml: Alcotest Array Gen List QCheck QCheck_alcotest Stdx
+test/test_stdx.ml: Alcotest Array Fun Gen List QCheck QCheck_alcotest Stdx

@@ -181,6 +181,73 @@ let prop_pool_max_min_characterization =
       | (s0, _) :: _ ->
         List.for_all (fun (s, _) -> abs (s - s0) <= 1) flexible)
 
+(* The pool's O(1) occupancy counters must always agree with folds over
+   the slot lists (the seed's implementation), under any interleaving of
+   adds, removes and refills. *)
+let counters_match_slot_folds p =
+  let slots = Pool.slots p in
+  let inelastic = List.filter (fun s -> not s.Pool.elastic) slots in
+  let elastic = List.filter (fun s -> s.Pool.elastic) slots in
+  let used = List.fold_left (fun acc s -> acc + s.Pool.range.Pool.n_blocks) 0 slots in
+  let hw =
+    List.fold_left (fun acc s -> max acc (Pool.range_end s.Pool.range)) 0 inelastic
+  in
+  let emin = List.fold_left (fun acc s -> acc + s.Pool.min_blocks) 0 elastic in
+  Pool.used_blocks p = used
+  && Pool.high_water p = hw
+  && Pool.n_slots p = List.length slots
+  && Pool.n_elastic p = List.length elastic
+  && Pool.elastic_min_total p = emin
+  && Pool.fungible_blocks p = Pool.total_blocks p - hw - emin
+
+let prop_pool_counters =
+  QCheck.Test.make ~name:"O(1) counters = list folds under random ops" ~count:200
+    QCheck.(make Gen.(list_size (int_range 1 40) (pair (int_range 0 3) (int_range 1 8))))
+    (fun ops ->
+      let p = Pool.create ~total_blocks:64 in
+      let next = ref 0 in
+      let live = ref [] in
+      List.for_all
+        (fun (op, blocks) ->
+          (* Mutations that move the high-water mark are followed by a
+             refill, as the allocator always does: elastic ranges are
+             only meaningful after [refill_elastic] re-packs them. *)
+          (match op with
+          | 0 ->
+            incr next;
+            (match Pool.add_inelastic p ~fid:!next ~blocks with
+            | Ok _ ->
+              live := !next :: !live;
+              ignore (Pool.refill_elastic p)
+            | Error `No_space -> ())
+          | 1 ->
+            incr next;
+            (match Pool.add_elastic p ~fid:!next ~min_blocks:blocks with
+            | Ok () ->
+              live := !next :: !live;
+              ignore (Pool.refill_elastic p)
+            | Error `No_space -> ())
+          | 2 -> (
+            match !live with
+            | [] -> ()
+            | fid :: rest ->
+              live := rest;
+              ignore (Pool.remove p ~fid);
+              ignore (Pool.refill_elastic p))
+          | _ -> ignore (Pool.refill_elastic p));
+          counters_match_slot_folds p)
+        ops)
+
+let test_pool_max_hole () =
+  let p = Pool.create ~total_blocks:16 in
+  Alcotest.(check int) "empty pool: no pinned zone, no hole" 0 (Pool.max_hole p);
+  ignore (Pool.add_inelastic p ~fid:1 ~blocks:4);
+  ignore (Pool.add_inelastic p ~fid:2 ~blocks:3);
+  ignore (Pool.add_inelastic p ~fid:3 ~blocks:4);
+  Alcotest.(check int) "packed pinned zone" 0 (Pool.max_hole p);
+  ignore (Pool.remove p ~fid:2);
+  Alcotest.(check int) "middle departure leaves a 3-hole" 3 (Pool.max_hole p)
+
 (* -- Allocator: admission ------------------------------------------------ *)
 
 let test_admit_cache_regions () =
@@ -317,6 +384,90 @@ let test_rejected_considered_mutants () =
       r.Allocator.considered_mutants
   | Allocator.Admitted _ -> Alcotest.fail "should be full"
 
+(* The multicore scoring fan-out must not change a single decision:
+   replay random arrival/departure sequences against a sequential and a
+   3-domain allocator and require bit-identical outcomes (mutant, regions,
+   reallocations, counts) — compute_time_s excepted.  LB arrivals carry
+   1800+ mutants, enough to cross the pool's spawn threshold. *)
+let same_outcome o1 o2 =
+  match (o1, o2) with
+  | Allocator.Admitted a, Allocator.Admitted b ->
+    a.Allocator.fid = b.Allocator.fid
+    && a.Allocator.mutant.Mutant.shifts = b.Allocator.mutant.Mutant.shifts
+    && a.Allocator.mutant.Mutant.stages = b.Allocator.mutant.Mutant.stages
+    && a.Allocator.regions = b.Allocator.regions
+    && a.Allocator.reallocated = b.Allocator.reallocated
+    && a.Allocator.considered_mutants = b.Allocator.considered_mutants
+    && a.Allocator.feasible_mutants = b.Allocator.feasible_mutants
+  | Allocator.Rejected r1, Allocator.Rejected r2 ->
+    r1.Allocator.considered_mutants = r2.Allocator.considered_mutants
+  | Allocator.Admitted _, Allocator.Rejected _
+  | Allocator.Rejected _, Allocator.Admitted _ ->
+    false
+
+let schemes =
+  [ Allocator.Worst_fit; Allocator.Best_fit; Allocator.First_fit; Allocator.Min_realloc ]
+
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"parallel admit = sequential admit, all schemes" ~count:12
+    QCheck.(
+      pair (int_range 0 3) (make Gen.(list_size (int_range 5 40) (int_range 0 3))))
+    (fun (scheme_i, ops) ->
+      let scheme = List.nth schemes scheme_i in
+      let seq = Allocator.create ~scheme ~domains:1 params in
+      let par = Allocator.create ~scheme ~domains:3 params in
+      let next = ref 0 in
+      let live = ref [] in
+      List.for_all
+        (fun op ->
+          if op = 3 && !live <> [] then begin
+            let fid = List.hd !live in
+            live := List.tl !live;
+            Allocator.depart seq ~fid = Allocator.depart par ~fid
+          end
+          else begin
+            incr next;
+            let arrival =
+              match op with
+              | 0 -> cache_arrival !next
+              | 1 -> lb_arrival !next
+              | _ -> hh_arrival !next
+            in
+            let o_seq = Allocator.admit seq arrival in
+            let o_par = Allocator.admit par arrival in
+            (match o_seq with
+            | Allocator.Admitted _ -> live := !live @ [ !next ]
+            | Allocator.Rejected _ -> ());
+            same_outcome o_seq o_par
+          end)
+        ops)
+
+let test_depart_only_touches_demand_stages () =
+  (* A pinned app's departure must leave other stages' pools untouched
+     and free exactly its own blocks. *)
+  let alloc = Allocator.create params in
+  ignore (admit_exn alloc (lb_arrival 1));
+  ignore (admit_exn alloc (hh_arrival 2));
+  let used_before = Allocator.stage_used_blocks alloc in
+  let lb_regions = Option.get (Allocator.regions_of alloc ~fid:1) in
+  ignore (Allocator.depart alloc ~fid:1);
+  let used_after = Allocator.stage_used_blocks alloc in
+  Array.iteri
+    (fun s after ->
+      let freed =
+        List.fold_left
+          (fun acc r ->
+            if r.Allocator.stage = s then acc + r.Allocator.range.Pool.n_blocks
+            else acc)
+          0 lb_regions
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "stage %d frees exactly the departing app's blocks" s)
+        (used_before.(s) - freed)
+        after)
+    used_after;
+  Alcotest.(check bool) "hh still resident" true (Allocator.is_resident alloc ~fid:2)
+
 (* Random churn keeps the allocator's central invariants. *)
 let prop_churn_invariants =
   QCheck.Test.make ~name:"random churn: no overlap, utilization bounded"
@@ -364,8 +515,10 @@ let () =
             test_pool_progressive_fill_respects_minimums;
           Alcotest.test_case "fungible blocks" `Quick test_pool_fungible;
           Alcotest.test_case "map consistency" `Quick test_pool_map_no_overlap;
+          Alcotest.test_case "max hole" `Quick test_pool_max_hole;
           QCheck_alcotest.to_alcotest prop_pool_progressive_fill;
           QCheck_alcotest.to_alcotest prop_pool_max_min_characterization;
+          QCheck_alcotest.to_alcotest prop_pool_counters;
         ] );
       ( "allocator",
         [
@@ -385,6 +538,9 @@ let () =
             test_utilization_monotone_pure_cache;
           Alcotest.test_case "regions response" `Quick test_regions_response_words;
           Alcotest.test_case "rejected stats" `Quick test_rejected_considered_mutants;
+          Alcotest.test_case "depart touches only demand stages" `Quick
+            test_depart_only_touches_demand_stages;
           QCheck_alcotest.to_alcotest prop_churn_invariants;
+          QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
         ] );
     ]

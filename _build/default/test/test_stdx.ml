@@ -222,6 +222,51 @@ let test_boxplot () =
     && b.Stdx.Stats.q2 <= b.Stdx.Stats.q3
     && b.Stdx.Stats.q3 <= b.Stdx.Stats.whisker_hi)
 
+(* -- Domain_pool --------------------------------------------------------- *)
+
+let test_dpool_sequential () =
+  let p = Stdx.Domain_pool.create ~size:1 () in
+  let arr = Array.init 100 Fun.id in
+  Alcotest.(check (array int)) "map doubles" (Array.map (fun x -> 2 * x) arr)
+    (Stdx.Domain_pool.map p ~f:(fun x -> 2 * x) arr)
+
+let test_dpool_map_large () =
+  (* Big enough to clear the spawn threshold, so domains really fan out. *)
+  let p = Stdx.Domain_pool.create ~size:2 () in
+  let arr = Array.init 3000 Fun.id in
+  Alcotest.(check (array int)) "map squares" (Array.map (fun x -> x * x) arr)
+    (Stdx.Domain_pool.map p ~f:(fun x -> x * x) arr)
+
+let test_dpool_coverage () =
+  let p = Stdx.Domain_pool.create ~size:3 () in
+  let n = 2000 in
+  let hits = Array.make n 0 in
+  (* Each index is written by exactly one domain, so no synchronization
+     is needed for the increments. *)
+  Stdx.Domain_pool.parallel_for p ~n ~f:(fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "every index exactly once" true
+    (Array.for_all (fun h -> h = 1) hits)
+
+let test_dpool_size_clamp () =
+  Alcotest.(check int) "clamped to 1" 1
+    (Stdx.Domain_pool.size (Stdx.Domain_pool.create ~size:0 ()));
+  Alcotest.(check bool) "default >= 1" true
+    (Stdx.Domain_pool.size (Stdx.Domain_pool.create ()) >= 1)
+
+let test_dpool_empty () =
+  let p = Stdx.Domain_pool.create ~size:4 () in
+  Alcotest.(check (array int)) "empty map" [||]
+    (Stdx.Domain_pool.map p ~f:(fun x -> x) [||]);
+  Stdx.Domain_pool.parallel_for p ~n:0 ~f:(fun _ -> Alcotest.fail "no indices")
+
+let prop_dpool_map_any_size =
+  QCheck.Test.make ~name:"map = Array.map at any pool size and length" ~count:50
+    QCheck.(pair (int_range 1 6) (int_range 0 700))
+    (fun (size, n) ->
+      let p = Stdx.Domain_pool.create ~size () in
+      let arr = Array.init n (fun i -> i * 3) in
+      Stdx.Domain_pool.map p ~f:(fun x -> x + 1) arr = Array.map (fun x -> x + 1) arr)
+
 let () =
   Alcotest.run "stdx"
     [
@@ -254,6 +299,15 @@ let () =
           Alcotest.test_case "formula" `Quick test_ewma_formula;
           Alcotest.test_case "invalid alpha" `Quick test_ewma_invalid_alpha;
           Alcotest.test_case "smooth length" `Quick test_ewma_smooth_length;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "sequential fallback" `Quick test_dpool_sequential;
+          Alcotest.test_case "map = Array.map (spawning)" `Quick test_dpool_map_large;
+          Alcotest.test_case "covers every index once" `Quick test_dpool_coverage;
+          Alcotest.test_case "size clamped" `Quick test_dpool_size_clamp;
+          Alcotest.test_case "empty input" `Quick test_dpool_empty;
+          QCheck_alcotest.to_alcotest prop_dpool_map_any_size;
         ] );
       ( "stats",
         [

@@ -37,7 +37,17 @@ val enumerate : ?limit:int -> Rmt.Params.t -> policy -> Spec.t -> t list
     [limit] (default 4096) an even, deterministic stride through the
     sequence is returned instead of a lexicographic prefix, so candidates
     stay diverse and client-side synthesis reproduces the same list.
-    A program with no memory access yields the single identity mutant. *)
+    A program with no memory access yields the single identity mutant.
+
+    Fast path: one DFS walk buffers candidates while counting (spaces up
+    to 64k placements never walk twice), and the feasible-space count is
+    memoized per shift-headroom shape, so any repeated shape — across
+    allocator instances too — materializes in a single pass.  The
+    candidate list is bit-identical to [enumerate_reference]. *)
+
+val enumerate_reference : ?limit:int -> Rmt.Params.t -> policy -> Spec.t -> t list
+(** The seed's two-pass (count, then materialize) enumeration, kept as the
+    oracle for property tests; [enumerate] must return exactly this list. *)
 
 val count : ?limit:int -> Rmt.Params.t -> policy -> Spec.t -> int
 
@@ -52,3 +62,7 @@ val demand_by_stage : t -> demand_blocks:int array -> (int * int) list
 (** Fold per-access block demands into per-stage demands, sorted by
     stage.  Accesses of a recirculated program that revisit a stage share
     the app's single region there, so demands merge by [max]. *)
+
+val demand_by_stage_arrays : t -> demand_blocks:int array -> int array * int array
+(** [demand_by_stage] as parallel flat [(stages, demands)] arrays sorted
+    by stage, allocation-light for the allocator's per-mutant scoring. *)

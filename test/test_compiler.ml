@@ -182,6 +182,78 @@ let prop_mutants_valid =
       let ms = Mutant.enumerate ~limit:500 params Mutant.Least_constrained spec in
       ms <> [] && List.for_all (mutant_respects_constraints spec) ms)
 
+let same_mutant_list a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         x.Mutant.shifts = y.Mutant.shifts
+         && x.Mutant.positions = y.Mutant.positions
+         && x.Mutant.stages = y.Mutant.stages
+         && x.Mutant.passes = y.Mutant.passes
+         && x.Mutant.port_recirc = y.Mutant.port_recirc)
+       a b
+
+(* The single-pass enumeration (count-while-buffering plus the memoized
+   count) must reproduce the seed's two-pass candidate list exactly; the
+   second call exercises the warm (memoized-count) code path. *)
+let prop_enumerate_matches_reference =
+  QCheck.Test.make ~name:"single-pass enumerate = two-pass reference (cold+warm)"
+    ~count:100
+    QCheck.(pair (make spec_gen) (int_range 1 200))
+    (fun (spec, limit) ->
+      List.for_all
+        (fun policy ->
+          let reference = Mutant.enumerate_reference ~limit params policy spec in
+          let cold = Mutant.enumerate ~limit params policy spec in
+          let warm = Mutant.enumerate ~limit params policy spec in
+          same_mutant_list reference cold && same_mutant_list reference warm)
+        [ Mutant.Most_constrained; Mutant.Least_constrained ])
+
+let test_enumerate_matches_reference_large_space () =
+  (* hh/lc's feasibility region (~231k placements) overflows the
+     single-pass keep buffer, forcing the fallback materialize walk; lb/lc
+     exercises the strided subsample within the buffer. *)
+  List.iter
+    (fun (spec, limit) ->
+      let reference = Mutant.enumerate_reference ~limit params Mutant.Least_constrained spec in
+      let fast = Mutant.enumerate ~limit params Mutant.Least_constrained spec in
+      let warm = Mutant.enumerate ~limit params Mutant.Least_constrained spec in
+      Alcotest.(check bool) "cold matches reference" true (same_mutant_list reference fast);
+      Alcotest.(check bool) "warm matches reference" true (same_mutant_list reference warm))
+    [ (hh_spec, 128); (lb_spec, 64) ]
+
+(* The seed's hashtable merge, as the oracle for the flat-array version. *)
+let demand_by_stage_oracle (m : Mutant.t) ~demand_blocks =
+  let tbl = Hashtbl.create 8 in
+  Array.iteri
+    (fun i s ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl s) in
+      Hashtbl.replace tbl s (max cur demand_blocks.(i)))
+    m.Mutant.stages;
+  Hashtbl.fold (fun s d acc -> (s, d) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let test_demand_arrays_match_oracle () =
+  List.iter
+    (fun spec ->
+      (* Unequal per-access demands so same-stage merging by [max] is
+         actually exercised (hh revisits stages across passes). *)
+      let demand_blocks = Array.mapi (fun i _ -> (i mod 3) + 1) spec.Spec.accesses in
+      List.iter
+        (fun m ->
+          let stages, demands = Mutant.demand_by_stage_arrays m ~demand_blocks in
+          let got = Array.to_list (Array.mapi (fun i s -> (s, demands.(i))) stages) in
+          Alcotest.(check (list (pair int int)))
+            "flat arrays match the hashtable oracle"
+            (demand_by_stage_oracle m ~demand_blocks)
+            got;
+          Alcotest.(check (list (pair int int)))
+            "assoc-list view matches too"
+            (Mutant.demand_by_stage m ~demand_blocks)
+            got)
+        (Mutant.enumerate ~limit:50 params Mutant.Least_constrained spec))
+    [ cache_spec; hh_spec; lb_spec ]
+
 let test_upper_bounds_monotone_in_passes () =
   List.iter
     (fun spec ->
@@ -274,6 +346,11 @@ let () =
           Alcotest.test_case "no-access single mutant" `Quick
             test_no_access_single_mutant;
           QCheck_alcotest.to_alcotest prop_mutants_valid;
+          QCheck_alcotest.to_alcotest prop_enumerate_matches_reference;
+          Alcotest.test_case "single-pass oracle, large spaces" `Quick
+            test_enumerate_matches_reference_large_space;
+          Alcotest.test_case "demand arrays oracle" `Quick
+            test_demand_arrays_match_oracle;
           Alcotest.test_case "UB monotone in passes" `Quick
             test_upper_bounds_monotone_in_passes;
         ] );
