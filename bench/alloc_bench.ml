@@ -4,11 +4,21 @@
    p50/p99 per-admit compute time.  The [baseline] block holds the numbers
    measured on the pre-fast-path sequential implementation (same machine,
    same seeded workloads, commit 2da735c) so the JSON always carries the
-   before/after comparison the trajectory is judged on. *)
+   before/after comparison the trajectory is judged on.
+
+   Each configuration runs against its own telemetry registry, so the
+   JSON also carries the per-phase span breakdown (alloc.snapshot /
+   alloc.enumerate / alloc.score / alloc.fill) that attributes where the
+   admit time goes — in particular why multi-domain fan-out *hurts* the
+   mixed workload (Domain.spawn overhead on chunks too small to amortize
+   it; see docs/TELEMETRY.md).  CI diffs these records against
+   bench/baseline_alloc.json via bench_compare.exe. *)
 
 module Allocator = Activermt_alloc.Allocator
 module App = Activermt_apps.App
 module Stats = Stdx.Stats
+module Telemetry = Activermt_telemetry.Telemetry
+module Json = Activermt_telemetry.Json
 
 let params = Rmt.Params.default
 
@@ -40,12 +50,14 @@ type run_stats = {
   wall_s : float;
   p50_ms : float;
   p99_ms : float;
+  tel : Telemetry.t;  (* this configuration's registry: spans + counters *)
 }
 
 let throughput s = float_of_int s.arrivals /. s.wall_s
 
 let measure ~label ~workload ~domains arrivals =
-  let alloc = Allocator.create ~domains params in
+  let tel = Telemetry.create () in
+  let alloc = Allocator.create ~domains ~telemetry:tel params in
   let times = ref [] in
   let admitted = ref 0 in
   let t0 = Unix.gettimeofday () in
@@ -68,6 +80,7 @@ let measure ~label ~workload ~domains arrivals =
     wall_s;
     p50_ms = ms 50.0;
     p99_ms = ms 99.0;
+    tel;
   }
 
 let pure_trace ~n = Workload.Churn.arrivals_sequence Workload.Churn.Cache ~n
@@ -84,31 +97,108 @@ let baseline =
     ("mixed", 414.0, 0.068, 12.299);
   ]
 
-let json_of_stats s =
-  Printf.sprintf
-    {|    {"workload": "%s", "domains": %d, "arrivals": %d, "admitted": %d, "arrivals_per_sec": %.1f, "p50_ms": %.4f, "p99_ms": %.4f}|}
-    s.workload s.domains s.arrivals s.admitted (throughput s) s.p50_ms s.p99_ms
+(* The per-admit phase spans recorded by the allocator, in hot-path
+   order.  alloc.enumerate only fires on mutant-cache misses. *)
+let phase_names =
+  [ "alloc.admit"; "alloc.enumerate"; "alloc.snapshot"; "alloc.score"; "alloc.fill" ]
 
-let write_json ~path stats =
+let json_of_phase (s : Telemetry.hist_summary) =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int s.Telemetry.count));
+      ("total_ms", Json.Num (1000.0 *. s.Telemetry.sum));
+      ("p50_ms", Json.Num (1000.0 *. s.Telemetry.p50));
+      ("p99_ms", Json.Num (1000.0 *. s.Telemetry.p99));
+      ("max_ms", Json.Num (1000.0 *. s.Telemetry.max));
+    ]
+
+let json_of_stats s =
+  let phases =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun sum -> (name, json_of_phase sum))
+          (Telemetry.hist_summary s.tel name))
+      phase_names
+  in
+  let counters =
+    List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) (Telemetry.counters s.tel)
+  in
+  Json.Obj
+    [
+      ("workload", Json.Str s.workload);
+      ("domains", Json.Num (float_of_int s.domains));
+      ("arrivals", Json.Num (float_of_int s.arrivals));
+      ("admitted", Json.Num (float_of_int s.admitted));
+      ("arrivals_per_sec", Json.Num (Float.round (10.0 *. throughput s) /. 10.0));
+      ("p50_ms", Json.Num s.p50_ms);
+      ("p99_ms", Json.Num s.p99_ms);
+      ("phases", Json.Obj phases);
+      ("counters", Json.Obj counters);
+    ]
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+(* Environment stamp so CI comparisons are apples-to-apples: a regression
+   gate should only trust records produced by the same code on a
+   comparable machine. *)
+let json_meta ~quick ~n =
+  Json.Obj
+    [
+      ("git_commit", Json.Str (git_commit ()));
+      ("ocaml_version", Json.Str Sys.ocaml_version);
+      ("recommended_domains", Json.Num (float_of_int (Domain.recommended_domain_count ())));
+      ("quick", Json.Bool quick);
+      ("arrivals_per_workload", Json.Num (float_of_int n));
+    ]
+
+let json_of_run ~quick ~n stats =
+  Json.Obj
+    [
+      ("meta", json_meta ~quick ~n);
+      ( "baseline_seq",
+        Json.Arr
+          (List.map
+             (fun (w, tput, p50, p99) ->
+               Json.Obj
+                 [
+                   ("workload", Json.Str w);
+                   ("domains", Json.Num 1.0);
+                   ("arrivals_per_sec", Json.Num tput);
+                   ("p50_ms", Json.Num p50);
+                   ("p99_ms", Json.Num p99);
+                 ])
+             baseline) );
+      ("fastpath", Json.Arr (List.map json_of_stats stats));
+    ]
+
+let write_json ~path json =
   let oc = open_out path in
-  output_string oc "{\n  \"baseline_seq\": [\n";
-  output_string oc
-    (String.concat ",\n"
-       (List.map
-          (fun (w, tput, p50, p99) ->
-            Printf.sprintf
-              {|    {"workload": "%s", "domains": 1, "arrivals_per_sec": %.1f, "p50_ms": %.4f, "p99_ms": %.4f}|}
-              w tput p50 p99)
-          baseline));
-  output_string oc "\n  ],\n  \"fastpath\": [\n";
-  output_string oc (String.concat ",\n" (List.map json_of_stats stats));
-  output_string oc "\n  ]\n}\n";
+  output_string oc (Json.to_string ~pretty:true json);
+  output_char oc '\n';
   close_out oc
 
 let print_stats s =
   Printf.printf
     "%-24s %5d arrivals (%d admitted)  %9.1f arrivals/s  p50 %.3f ms  p99 %.3f ms\n"
-    s.label s.arrivals s.admitted (throughput s) s.p50_ms s.p99_ms
+    s.label s.arrivals s.admitted (throughput s) s.p50_ms s.p99_ms;
+  List.iter
+    (fun name ->
+      match Telemetry.hist_summary s.tel name with
+      | None -> ()
+      | Some h ->
+        Printf.printf
+          "    %-18s count %5d  total %8.1f ms  p50 %.4f ms  p99 %.4f ms\n"
+          name h.Telemetry.count (1000.0 *. h.Telemetry.sum)
+          (1000.0 *. h.Telemetry.p50) (1000.0 *. h.Telemetry.p99))
+    phase_names
 
 let run ~quick =
   let n = if quick then 150 else 500 in
@@ -144,5 +234,5 @@ let run ~quick =
     Printf.printf "mixed speedup vs seed baseline (1 domain): %.1fx\n"
       (throughput s /. base)
   | None -> ());
-  write_json ~path:"BENCH_alloc.json" stats;
+  write_json ~path:"BENCH_alloc.json" (json_of_run ~quick ~n stats);
   print_endline "wrote BENCH_alloc.json"

@@ -1,0 +1,104 @@
+(* CI bench-regression gate: compare a fresh BENCH_alloc.json against the
+   committed bench/baseline_alloc.json and fail (exit 1) when admit
+   throughput drops by more than the tolerance or p99 latency grows past
+   the allowed factor.
+
+     bench_compare.exe BASELINE CURRENT [--max-tput-drop 0.30] [--max-p99-growth 2.0]
+
+   Records are matched per workload at single-domain and fanned-out
+   configurations separately ("d1" vs "dN" — the fan-out width differs
+   across machines, so the multi-domain record matches whatever width the
+   current run used).  Wide default tolerances absorb runner-speed noise;
+   the gate exists to catch order-of-magnitude regressions, not 5%
+   jitter. *)
+
+module Json = Activermt_telemetry.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("bench_compare: " ^ s); exit 2) fmt
+
+let load path =
+  let ic = try open_in path with Sys_error e -> die "%s" e in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match Json.of_string text with
+  | Ok v -> v
+  | Error e -> die "%s: %s" path e
+
+type record = {
+  workload : string;
+  domains : int;
+  arrivals_per_sec : float;
+  p99_ms : float;
+}
+
+let records_of path json =
+  match Json.(member "fastpath" json |> Option.map to_arr) with
+  | Some (Some items) ->
+    List.map
+      (fun item ->
+        let num key =
+          match Json.(member key item |> Option.map to_num) with
+          | Some (Some v) -> v
+          | _ -> die "%s: fastpath record missing %S" path key
+        in
+        let workload =
+          match Json.(member "workload" item |> Option.map to_str) with
+          | Some (Some w) -> w
+          | _ -> die "%s: fastpath record missing \"workload\"" path
+        in
+        {
+          workload;
+          domains = int_of_float (num "domains");
+          arrivals_per_sec = num "arrivals_per_sec";
+          p99_ms = num "p99_ms";
+        })
+      items
+  | _ -> die "%s: no \"fastpath\" array" path
+
+(* d1 is comparable across machines; any width > 1 is "the fan-out
+   config" whatever the core count of the box that produced it. *)
+let config r = (r.workload, r.domains <= 1)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse paths drop growth = function
+    | [] -> (List.rev paths, drop, growth)
+    | "--max-tput-drop" :: v :: rest -> parse paths (float_of_string v) growth rest
+    | "--max-p99-growth" :: v :: rest -> parse paths drop (float_of_string v) rest
+    | p :: rest -> parse (p :: paths) drop growth rest
+  in
+  let paths, max_drop, max_growth = parse [] 0.30 2.0 args in
+  let base_path, cur_path =
+    match paths with
+    | [ b; c ] -> (b, c)
+    | _ -> die "usage: bench_compare.exe BASELINE CURRENT [--max-tput-drop F] [--max-p99-growth F]"
+  in
+  let base = records_of base_path (load base_path) in
+  let cur = records_of cur_path (load cur_path) in
+  let failures = ref 0 in
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> config c = config b) cur with
+      | None ->
+        incr failures;
+        Printf.printf "MISSING  %-6s d%-2d  no matching record in %s\n" b.workload
+          b.domains cur_path
+      | Some c ->
+        let tput_floor = (1.0 -. max_drop) *. b.arrivals_per_sec in
+        let p99_ceil = max_growth *. b.p99_ms in
+        let tput_ok = c.arrivals_per_sec >= tput_floor in
+        let p99_ok = c.p99_ms <= p99_ceil in
+        if not (tput_ok && p99_ok) then incr failures;
+        Printf.printf
+          "%-7s  %-6s d%-2d  tput %9.1f -> %9.1f /s (floor %9.1f)  p99 %7.3f -> %7.3f ms (ceil %7.3f)\n"
+          (if tput_ok && p99_ok then "OK" else "REGRESS")
+          b.workload b.domains b.arrivals_per_sec c.arrivals_per_sec tput_floor
+          b.p99_ms c.p99_ms p99_ceil)
+    base;
+  if !failures > 0 then begin
+    Printf.printf "%d regression(s) against %s\n" !failures base_path;
+    exit 1
+  end;
+  Printf.printf "no regressions against %s (tput drop <= %.0f%%, p99 growth <= %.1fx)\n"
+    base_path (100.0 *. max_drop) max_growth

@@ -4,6 +4,11 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig5a fig9b  # a subset
      dune exec bench/main.exe -- --quick      # reduced trials/epochs
+     dune exec bench/main.exe -- --quick alloc --metrics-out m.json
+
+   --metrics-out FILE dumps the process-wide telemetry registry
+   (counters, gauges, span histograms — see docs/TELEMETRY.md) as JSON
+   after the selected experiments finish.
 
    Output is plain text series (see lib/exp/report.ml); EXPERIMENTS.md
    records the headline numbers against the paper's. *)
@@ -135,6 +140,21 @@ let experiments =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
+  let metrics_out = ref None in
+  let rec strip_metrics = function
+    | [] -> []
+    | "--metrics-out" :: path :: rest ->
+      metrics_out := Some path;
+      strip_metrics rest
+    | "--metrics-out" :: [] ->
+      prerr_endline "--metrics-out requires a FILE argument";
+      exit 2
+    | a :: rest when String.length a > 14 && String.sub a 0 14 = "--metrics-out=" ->
+      metrics_out := Some (String.sub a 14 (String.length a - 14));
+      strip_metrics rest
+    | a :: rest -> a :: strip_metrics rest
+  in
+  let args = strip_metrics args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let selected =
     if wanted = [] then experiments
@@ -158,4 +178,10 @@ let () =
       let t0 = Sys.time () in
       e.run ~quick;
       Printf.printf "\n[%s done in %.1fs cpu]\n" e.name (Sys.time () -. t0))
-    selected
+    selected;
+  match !metrics_out with
+  | None -> ()
+  | Some path ->
+    let module Telemetry = Activermt_telemetry.Telemetry in
+    Telemetry.write_json Telemetry.default ~path;
+    Printf.printf "wrote telemetry to %s\n" path

@@ -11,6 +11,15 @@ module Spec = Activermt_compiler.Spec
 module Mutant = Activermt_compiler.Mutant
 module Allocator = Activermt_alloc.Allocator
 module App = Activermt_apps.App
+module Telemetry = Activermt_telemetry.Telemetry
+
+(* Shared by the subcommands that record telemetry (allocsim, trace):
+   dump the default registry as JSON once the command finishes. *)
+let write_metrics = function
+  | None -> ()
+  | Some path ->
+    Telemetry.write_json Telemetry.default ~path;
+    Printf.printf "wrote telemetry to %s\n" path
 
 let params = Rmt.Params.default
 
@@ -92,7 +101,7 @@ and cmd_mutants path policy =
     mutants;
   if List.length mutants > 50 then print_endline "  ..."
 
-and cmd_allocsim spec_str scheme policy domains =
+and cmd_allocsim spec_str scheme policy domains metrics_out =
   let alloc = Allocator.create ~scheme ~policy ~domains params in
   let next_fid = ref 0 in
   let service_of = function
@@ -132,9 +141,10 @@ and cmd_allocsim spec_str scheme policy domains =
              Printf.printf "fid %d (%s): REJECTED after %d mutants (%.2f ms)\n"
                !next_fid name r.Allocator.considered_mutants
                (1000.0 *. r.Allocator.compute_time_s)));
-  Printf.printf "final utilization: %.3f\n" (Allocator.utilization alloc)
+  Printf.printf "final utilization: %.3f\n" (Allocator.utilization alloc);
+  write_metrics metrics_out
 
-and cmd_trace path args_str privileged =
+and cmd_trace path args_str privileged metrics_out =
   let program = read_program path in
   let spec = Spec.analyze program in
   let device = Rmt.Device.create params in
@@ -165,7 +175,14 @@ and cmd_trace path args_str privileged =
   in
   let pkt = Activermt.Packet.exec ~fid:1 ~seq:0 ~args program in
   let meta = Activermt.Runtime.meta ~src:100 ~dst:200 () in
-  let r, events = Activermt.Runtime.trace tables ~meta pkt in
+  let r, events =
+    Telemetry.with_span Telemetry.default "cli.trace" (fun () ->
+        Activermt.Runtime.trace tables ~meta pkt)
+  in
+  Telemetry.incr Telemetry.default "cli.trace.packets";
+  Telemetry.incr Telemetry.default "cli.trace.passes" ~by:r.Activermt.Runtime.passes;
+  Telemetry.incr Telemetry.default "cli.trace.pipelines"
+    ~by:r.Activermt.Runtime.pipelines;
   List.iter
     (fun e -> Format.printf "%a@." Activermt.Runtime.pp_trace_event e)
     events;
@@ -179,7 +196,8 @@ and cmd_trace path args_str privileged =
     (Activermt.Runtime.latency_us params r);
   Printf.printf "args out: [%s]\n"
     (String.concat "; "
-       (List.map string_of_int (Array.to_list r.Activermt.Runtime.args_out)))
+       (List.map string_of_int (Array.to_list r.Activermt.Runtime.args_out)));
+  write_metrics metrics_out
 
 and cmd_p4gen () =
   print_string (Activermt_p4gen.Emit.emit Activermt_p4gen.Emit.default_config)
@@ -237,6 +255,13 @@ let mutants_cmd =
   Cmd.v (Cmd.info "mutants" ~doc:"enumerate program mutants")
     Term.(const cmd_mutants $ path_arg $ policy_arg)
 
+let metrics_out_arg =
+  Arg.value
+    (Arg.opt (Arg.some Arg.string) None
+       (Arg.info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Dump the telemetry registry (counters, gauges, span \
+                histograms) as JSON to $(docv) when the command finishes."))
+
 let domains_arg =
   Arg.value
     (Arg.opt Arg.int 1
@@ -248,7 +273,9 @@ let domains_arg =
 let allocsim_cmd =
   let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"cache,hh,lb,...") in
   Cmd.v (Cmd.info "allocsim" ~doc:"replay arrivals against the allocator")
-    Term.(const cmd_allocsim $ spec $ scheme_arg $ policy_arg $ domains_arg)
+    Term.(
+      const cmd_allocsim $ spec $ scheme_arg $ policy_arg $ domains_arg
+      $ metrics_out_arg)
 
 let trace_cmd =
   let args_arg =
@@ -256,7 +283,7 @@ let trace_cmd =
   in
   let priv_arg = Arg.(value & flag & info [ "privileged" ]) in
   Cmd.v (Cmd.info "trace" ~doc:"execute a program on a fresh switch with a stage-by-stage trace")
-    Term.(const cmd_trace $ path_arg $ args_arg $ priv_arg)
+    Term.(const cmd_trace $ path_arg $ args_arg $ priv_arg $ metrics_out_arg)
 
 let apps_cmd =
   Cmd.v (Cmd.info "apps" ~doc:"print bundled example services")

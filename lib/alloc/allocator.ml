@@ -63,10 +63,12 @@ type t = {
       (* mutant sets depend only on the program shape, so the controller
          enumerates each shape once (clients cache them likewise) *)
   dpool : Stdx.Domain_pool.t;  (* fan-out width for mutant scoring *)
+  tel : Telemetry.t;
 }
 
 let create ?(scheme = Worst_fit) ?(policy = Mutant.Most_constrained)
-    ?(mutant_limit = 4096) ?(domains = 1) params =
+    ?(mutant_limit = 4096) ?(domains = 1) ?(telemetry = Telemetry.default)
+    params =
   {
     params;
     scheme;
@@ -78,6 +80,7 @@ let create ?(scheme = Worst_fit) ?(policy = Mutant.Most_constrained)
     apps = Hashtbl.create 256;
     mutants_cache = Hashtbl.create 16;
     dpool = Stdx.Domain_pool.create ~size:domains ();
+    tel = telemetry;
   }
 
 let mutants_of t (spec : Spec.t) =
@@ -90,10 +93,15 @@ let mutants_of t (spec : Spec.t) =
     }
   in
   match Hashtbl.find_opt t.mutants_cache key with
-  | Some ms -> ms
+  | Some ms ->
+    Telemetry.incr t.tel "alloc.enumerate.hit";
+    ms
   | None ->
+    Telemetry.incr t.tel "alloc.enumerate.miss";
     let ms =
-      Array.of_list (Mutant.enumerate ~limit:t.mutant_limit t.params t.policy spec)
+      Telemetry.with_span t.tel "alloc.enumerate" (fun () ->
+          Array.of_list
+            (Mutant.enumerate ~limit:t.mutant_limit t.params t.policy spec))
     in
     Hashtbl.replace t.mutants_cache key ms;
     ms
@@ -253,9 +261,13 @@ let admit t (a : arrival) =
   if Array.length a.demand_blocks <> Array.length a.spec.Spec.accesses then
     invalid_arg "Allocator.admit: demand_blocks does not match spec accesses";
   let t0 = Unix.gettimeofday () in
+  Telemetry.span_begin t.tel "alloc.admit";
   let mutants = mutants_of t a.spec in
   let considered = Array.length mutants in
-  let snap = snapshot t ~elastic:a.elastic in
+  let snap =
+    Telemetry.with_span t.tel "alloc.snapshot" (fun () ->
+        snapshot t ~elastic:a.elastic)
+  in
   let max_apps = max_apps_per_stage t in
   let scheme = t.scheme in
   let total_blocks = t.params.Rmt.Params.blocks_per_stage in
@@ -263,6 +275,7 @@ let admit t (a : arrival) =
   let elastic = a.elastic in
   let feas = Array.make considered false in
   let costs = Array.make considered infinity in
+  Telemetry.span_begin t.tel "alloc.score";
   (* Score every mutant against the immutable snapshot; each index writes
      only its own cells, so the fan-out is race-free and the reduce below
      is bit-identical at any pool size. *)
@@ -288,15 +301,21 @@ let admit t (a : arrival) =
         if !best < 0 || costs.(i) < costs.(!best) then best := i
     end
   done;
+  Telemetry.span_end t.tel (* alloc.score *);
   let feasible_count = !feasible_count in
+  Telemetry.incr t.tel "alloc.mutants.considered" ~by:considered;
+  Telemetry.incr t.tel "alloc.mutants.feasible" ~by:feasible_count;
   match !best with
   | -1 ->
+    Telemetry.incr t.tel "alloc.rejected";
+    Telemetry.span_end t.tel (* alloc.admit *);
     Rejected
       { considered_mutants = considered; compute_time_s = Unix.gettimeofday () -. t0 }
   | best ->
     let mutant = mutants.(best) in
     let demand = merged_demand a mutant in
     let stages = List.map fst demand in
+    Telemetry.span_begin t.tel "alloc.fill";
     let before = snapshot_layouts t stages in
     let own_layout = ref [] in
     List.iter
@@ -331,6 +350,10 @@ let admit t (a : arrival) =
       List.map (fun (stage, range) -> { stage; range }) app.app_layout
       |> List.sort (fun x y -> compare x.stage y.stage)
     in
+    Telemetry.span_end t.tel (* alloc.fill *);
+    Telemetry.incr t.tel "alloc.admitted";
+    Telemetry.incr t.tel "alloc.reallocated" ~by:(List.length reallocated);
+    Telemetry.span_end t.tel (* alloc.admit *);
     Admitted
       {
         fid = a.fid;
@@ -346,13 +369,19 @@ let depart t ~fid =
   match Hashtbl.find_opt t.apps fid with
   | None -> []
   | Some app ->
-    let stages = List.map fst app.app_demand in
-    let before = snapshot_layouts t stages in
-    (* The app only ever holds blocks on its demand stages. *)
-    List.iter (fun s -> ignore (Pool.remove t.pools.(s) ~fid)) stages;
-    Hashtbl.remove t.apps fid;
-    refresh_layouts t stages;
-    diff_reallocated t (List.filter (fun (f, _) -> f <> fid) before)
+    Telemetry.with_span t.tel "alloc.depart" (fun () ->
+        Telemetry.incr t.tel "alloc.departed";
+        let stages = List.map fst app.app_demand in
+        let before = snapshot_layouts t stages in
+        (* The app only ever holds blocks on its demand stages. *)
+        List.iter (fun s -> ignore (Pool.remove t.pools.(s) ~fid)) stages;
+        Hashtbl.remove t.apps fid;
+        refresh_layouts t stages;
+        let expanded =
+          diff_reallocated t (List.filter (fun (f, _) -> f <> fid) before)
+        in
+        Telemetry.incr t.tel "alloc.reallocated" ~by:(List.length expanded);
+        expanded)
 
 let regions_response t ~fid =
   match Hashtbl.find_opt t.apps fid with

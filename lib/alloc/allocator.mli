@@ -52,6 +52,7 @@ val create :
   ?policy:Mutant.policy ->
   ?mutant_limit:int ->
   ?domains:int ->
+  ?telemetry:Telemetry.t ->
   Rmt.Params.t ->
   t
 (** Defaults: worst-fit (the prototype's choice) and most-constrained.
@@ -61,7 +62,14 @@ val create :
     against it on that many domains.  Outcomes are bit-identical at any
     width — scoring is read-only over the snapshot and the reduce is a
     deterministic min-cost/lowest-index fold — so the knob trades cores
-    for allocation latency only. *)
+    for allocation latency only.
+
+    [telemetry] (default {!Telemetry.default}) receives the allocator's
+    counters ([alloc.admitted], [alloc.rejected], [alloc.departed],
+    [alloc.reallocated], [alloc.mutants.considered/feasible],
+    [alloc.enumerate.hit/miss]) and per-phase spans ([alloc.admit] with
+    nested [alloc.enumerate], [alloc.snapshot], [alloc.score],
+    [alloc.fill]; [alloc.depart]). *)
 
 val params : t -> Rmt.Params.t
 val scheme : t -> scheme

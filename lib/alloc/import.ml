@@ -2,3 +2,4 @@
    allocator. *)
 module Spec = Activermt_compiler.Spec
 module Mutant = Activermt_compiler.Mutant
+module Telemetry = Activermt_telemetry.Telemetry

@@ -33,17 +33,20 @@ type t = {
   pass_limits : (Activermt.Packet.fid, int) Hashtbl.t;
   mutable pending : pending option;
   mutable log : Cost_model.breakdown list;
+  tel : Telemetry.t;
 }
 
 let create ?scheme ?policy ?(cost = Cost_model.default) ?(mode = `Auto)
-    ?(extraction_timeout_s = 1.0) device =
+    ?(extraction_timeout_s = 1.0) ?(telemetry = Telemetry.default) device =
   {
     device;
     tables = Activermt.Table.create device;
-    allocator = Allocator.create ?scheme ?policy (Rmt.Device.params device);
+    allocator =
+      Allocator.create ?scheme ?policy ~telemetry (Rmt.Device.params device);
     cost;
     mode;
     extraction_timeout_s;
+    tel = telemetry;
     snapshots = Hashtbl.create 32;
     virtual_flags = Hashtbl.create 32;
     privileged = Hashtbl.create 8;
@@ -219,19 +222,29 @@ let handle_request t (pkt : Activermt.Packet.t) =
         demand_blocks;
       }
     in
-    (match Allocator.admit t.allocator arrival with
+    Telemetry.span_begin t.tel "control.provision";
+    (match
+       Telemetry.with_span t.tel "control.allocation" (fun () ->
+           Allocator.admit t.allocator arrival)
+     with
     | Allocator.Rejected r ->
       let timing =
         Cost_model.breakdown t.cost ~allocation_s:r.Allocator.compute_time_s
           ~entries_updated:0 ~apps_touched:0 ~words_snapshotted:0 ~notifications:1
       in
       t.log <- timing :: t.log;
+      Telemetry.incr t.tel "control.rejections";
+      Telemetry.span_end t.tel (* control.provision *);
       Error (`Rejected r)
     | Allocator.Admitted adm ->
       Hashtbl.replace t.virtual_flags fid flags.Activermt.Packet.virtual_addressing;
       let realloc_fids = List.map fst adm.Allocator.reallocated in
-      let words = List.fold_left (fun acc f -> acc + take_snapshot t ~fid:f) 0 realloc_fids in
+      let words =
+        Telemetry.with_span t.tel "control.snapshot" (fun () ->
+            List.fold_left (fun acc f -> acc + take_snapshot t ~fid:f) 0 realloc_fids)
+      in
       Activermt.Table.reset_update_stats t.tables;
+      Telemetry.span_begin t.tel "control.table_update";
       let phase =
         match (t.mode, realloc_fids) with
         | `Auto, _ | `Interactive, [] ->
@@ -250,6 +263,8 @@ let handle_request t (pkt : Activermt.Packet.t) =
             Some { new_fid = fid; waiting = impacted; deadline_s = t.extraction_timeout_s };
           Awaiting_extraction { impacted }
       in
+      Telemetry.span_end t.tel (* control.table_update *);
+      Telemetry.incr t.tel "control.provisions";
       let stats = Activermt.Table.update_stats t.tables in
       (* In interactive mode the table work happens at commit time, but we
          still charge it to this provisioning event: estimate entries from
@@ -270,6 +285,7 @@ let handle_request t (pkt : Activermt.Packet.t) =
           ~notifications:(List.length realloc_fids + 1)
       in
       t.log <- timing :: t.log;
+      Telemetry.span_end t.tel (* control.provision *);
       Ok
         {
           fid;
@@ -297,18 +313,24 @@ let handle_departure t ~fid =
     finish_pending_if_done t
   | Some _ | None -> ());
   Activermt.Table.reset_update_stats t.tables;
+  Telemetry.incr t.tel "control.departures";
   let t0 = Sys.time () in
-  let expanded = Allocator.depart t.allocator ~fid in
+  let expanded =
+    Telemetry.with_span t.tel "control.allocation" (fun () ->
+        Allocator.depart t.allocator ~fid)
+  in
   let alloc_s = Sys.time () -. t0 in
   let expanded_fids = List.map fst expanded in
   let words =
-    List.fold_left (fun acc f -> acc + take_snapshot t ~fid:f) 0 expanded_fids
+    Telemetry.with_span t.tel "control.snapshot" (fun () ->
+        List.fold_left (fun acc f -> acc + take_snapshot t ~fid:f) 0 expanded_fids)
   in
-  List.iter
-    (fun f ->
-      install_current t ~fid:f ~virtual_addressing:(virtual_of t f);
-      if t.mode = `Auto then copy_snapshot_to_new_region t ~fid:f)
-    expanded_fids;
+  Telemetry.with_span t.tel "control.table_update" (fun () ->
+      List.iter
+        (fun f ->
+          install_current t ~fid:f ~virtual_addressing:(virtual_of t f);
+          if t.mode = `Auto then copy_snapshot_to_new_region t ~fid:f)
+        expanded_fids);
   let stats = Activermt.Table.update_stats t.tables in
   let timing =
     Cost_model.breakdown t.cost ~allocation_s:alloc_s

@@ -42,8 +42,16 @@ val create :
   ?cost:Cost_model.t ->
   ?mode:commit_mode ->
   ?extraction_timeout_s:float ->
+  ?telemetry:Telemetry.t ->
   Rmt.Device.t ->
   t
+(** [telemetry] (default {!Telemetry.default}) is shared with the
+    embedded allocator and additionally receives the controller's
+    measured provisioning phases — [control.provision] with nested
+    [control.allocation], [control.snapshot] and [control.table_update]
+    spans (Fig. 8a's breakdown from real timers, next to the modeled
+    {!Cost_model.breakdown}) — plus [control.provisions],
+    [control.rejections] and [control.departures] counters. *)
 
 val tables : t -> Activermt.Table.t
 val allocator : t -> Allocator.t

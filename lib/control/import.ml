@@ -3,3 +3,4 @@ module Spec = Activermt_compiler.Spec
 module Mutant = Activermt_compiler.Mutant
 module Allocator = Activermt_alloc.Allocator
 module Pool = Activermt_alloc.Pool
+module Telemetry = Activermt_telemetry.Telemetry

@@ -1,23 +1,32 @@
+module Telemetry = Activermt_telemetry.Telemetry
+
 type event = { time : float; seq : int; thunk : unit -> unit }
 
 type t = {
   queue : event Stdx.Heap.t;
   mutable clock : float;
   mutable next_seq : int;
+  tel : Telemetry.t;
 }
 
 let compare_events a b =
   match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
 
-let create () =
-  { queue = Stdx.Heap.create ~cmp:compare_events; clock = 0.0; next_seq = 0 }
+let create ?(telemetry = Telemetry.default) () =
+  {
+    queue = Stdx.Heap.create ~cmp:compare_events;
+    clock = 0.0;
+    next_seq = 0;
+    tel = telemetry;
+  }
 
 let now t = t.clock
 
 let schedule_at t ~time thunk =
   let time = Float.max time t.clock in
   Stdx.Heap.push t.queue { time; seq = t.next_seq; thunk };
-  t.next_seq <- t.next_seq + 1
+  t.next_seq <- t.next_seq + 1;
+  Telemetry.incr t.tel "sim.events.scheduled"
 
 let schedule t ~delay thunk = schedule_at t ~time:(t.clock +. delay) thunk
 
@@ -26,6 +35,9 @@ let step t =
   | None -> false
   | Some e ->
     t.clock <- e.time;
+    Telemetry.incr t.tel "sim.events.processed";
+    Telemetry.set_gauge t.tel "sim.queue_depth"
+      (float_of_int (Stdx.Heap.length t.queue));
     e.thunk ();
     true
 

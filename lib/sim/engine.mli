@@ -5,7 +5,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?telemetry:Activermt_telemetry.Telemetry.t -> unit -> t
+(** [telemetry] (default [Telemetry.default]) counts
+    [sim.events.scheduled] / [sim.events.processed] and tracks the
+    [sim.queue_depth] gauge as events fire. *)
 
 val now : t -> float
 (** Current simulated time in seconds. *)

@@ -1,4 +1,5 @@
 module Controller = Activermt_control.Controller
+module Telemetry = Activermt_telemetry.Telemetry
 
 type address = int
 
@@ -23,10 +24,11 @@ type t = {
   owners : (Activermt.Packet.fid, address) Hashtbl.t;
   mutable drops : int;
   mutable lost : int;
+  tel : Telemetry.t;
 }
 
 let create ?(wire_latency_s = 5.0e-6) ?(loss_rate = 0.0) ?(loss_seed = 4_059)
-    ~engine ~controller () =
+    ?(telemetry = Telemetry.default) ~engine ~controller () =
   if loss_rate < 0.0 || loss_rate >= 1.0 then
     invalid_arg "Fabric.create: loss_rate must be in [0, 1)";
   {
@@ -39,6 +41,7 @@ let create ?(wire_latency_s = 5.0e-6) ?(loss_rate = 0.0) ?(loss_seed = 4_059)
     owners = Hashtbl.create 16;
     drops = 0;
     lost = 0;
+    tel = telemetry;
   }
 
 let engine t = t.engine
@@ -58,11 +61,17 @@ let lossy t msg =
   | Active _ | Kv_request _ | Kv_reply _ | Alloc_failed | Notify_realloc -> false
 
 let deliver t msg ~delay =
-  if lossy t msg then t.lost <- t.lost + 1
+  if lossy t msg then begin
+    t.lost <- t.lost + 1;
+    Telemetry.incr t.tel "sim.packets.lost"
+  end
   else
     Engine.schedule t.engine ~delay (fun () ->
         match Hashtbl.find_opt t.nodes msg.dst with
-        | Some handler -> handler msg
+        | Some handler ->
+          Telemetry.incr t.tel "sim.packets.delivered";
+          Telemetry.incr t.tel (Printf.sprintf "sim.node.%d.rx" msg.dst);
+          handler msg
         | None -> ())
 
 let notify_impacted t fids =
@@ -153,7 +162,9 @@ let at_switch t msg =
             }
         in
         match r.Activermt.Runtime.decision with
-        | Activermt.Runtime.Dropped _ -> t.drops <- t.drops + 1
+        | Activermt.Runtime.Dropped _ ->
+          t.drops <- t.drops + 1;
+          Telemetry.incr t.tel "sim.packets.dropped"
         | Activermt.Runtime.Return_to_sender ->
           deliver t
             { src = msg.dst; dst = msg.src; payload = out_payload }
@@ -166,8 +177,15 @@ let at_switch t msg =
       end)
 
 let send t msg =
-  if lossy t msg then t.lost <- t.lost + 1
-  else Engine.schedule t.engine ~delay:t.wire_latency_s (fun () -> at_switch t msg)
+  if lossy t msg then begin
+    t.lost <- t.lost + 1;
+    Telemetry.incr t.tel "sim.packets.lost"
+  end
+  else begin
+    Telemetry.incr t.tel "sim.packets.sent";
+    Telemetry.incr t.tel (Printf.sprintf "sim.node.%d.tx" msg.src);
+    Engine.schedule t.engine ~delay:t.wire_latency_s (fun () -> at_switch t msg)
+  end
 
 let stats_drops t = t.drops
 let stats_lost t = t.lost

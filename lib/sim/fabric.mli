@@ -34,6 +34,7 @@ val create :
   ?wire_latency_s:float ->
   ?loss_rate:float ->
   ?loss_seed:int ->
+  ?telemetry:Activermt_telemetry.Telemetry.t ->
   engine:Engine.t ->
   controller:Activermt_control.Controller.t ->
   unit ->
@@ -41,7 +42,11 @@ val create :
 (** [loss_rate] (default 0) drops that fraction of data-plane deliveries
     (program packets and their replies), deterministically under
     [loss_seed]; control traffic is unaffected.  Exercises the memsync
-    retransmission loop. *)
+    retransmission loop.
+
+    [telemetry] (default [Telemetry.default]) counts fabric traffic:
+    [sim.packets.sent/delivered/lost/dropped] plus per-node
+    [sim.node.<addr>.tx]/[sim.node.<addr>.rx]. *)
 
 val engine : t -> Engine.t
 val controller : t -> Activermt_control.Controller.t

@@ -1,0 +1,30 @@
+type 'a t = {
+  mutex : Mutex.t;
+  shards : 'a list ref;
+  key : 'a Domain.DLS.key;
+}
+
+let create ~init () =
+  let mutex = Mutex.create () in
+  let shards = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let s = init () in
+        Mutex.lock mutex;
+        shards := s :: !shards;
+        Mutex.unlock mutex;
+        s)
+  in
+  { mutex; shards; key }
+
+let get t = Domain.DLS.get t.key
+
+let all t =
+  Mutex.lock t.mutex;
+  let l = !(t.shards) in
+  Mutex.unlock t.mutex;
+  l
+
+let fold t ~init ~f = List.fold_left f init (all t)
+let iter t ~f = List.iter f (all t)
+let n_shards t = List.length (all t)

@@ -267,6 +267,28 @@ let prop_dpool_map_any_size =
       let arr = Array.init n (fun i -> i * 3) in
       Stdx.Domain_pool.map p ~f:(fun x -> x + 1) arr = Array.map (fun x -> x + 1) arr)
 
+(* -- Sharded ------------------------------------------------------------- *)
+
+let test_sharded_same_shard_within_domain () =
+  let s = Stdx.Sharded.create ~init:(fun () -> ref 0) () in
+  let a = Stdx.Sharded.get s in
+  incr a;
+  let b = Stdx.Sharded.get s in
+  Alcotest.(check bool) "same shard" true (a == b);
+  Alcotest.(check int) "one shard registered" 1 (Stdx.Sharded.n_shards s)
+
+let test_sharded_fold_after_join () =
+  let s = Stdx.Sharded.create ~init:(fun () -> ref 0) () in
+  let pool = Stdx.Domain_pool.create ~size:3 () in
+  let n = 3000 in
+  (* Each worker bumps its own shard; the pool joins its domains before
+     returning, so the fold below sees every increment. *)
+  Stdx.Domain_pool.parallel_for pool ~n ~f:(fun _ ->
+      let r = Stdx.Sharded.get s in
+      incr r);
+  Alcotest.(check int) "all increments merged" n
+    (Stdx.Sharded.fold s ~init:0 ~f:(fun acc r -> acc + !r))
+
 let () =
   Alcotest.run "stdx"
     [
@@ -308,6 +330,12 @@ let () =
           Alcotest.test_case "size clamped" `Quick test_dpool_size_clamp;
           Alcotest.test_case "empty input" `Quick test_dpool_empty;
           QCheck_alcotest.to_alcotest prop_dpool_map_any_size;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "stable shard per domain" `Quick
+            test_sharded_same_shard_within_domain;
+          Alcotest.test_case "fold after join" `Quick test_sharded_fold_after_join;
         ] );
       ( "stats",
         [

@@ -1,0 +1,303 @@
+(* Unit and property tests for the telemetry subsystem: counters, gauges,
+   log-bucketed histograms (accuracy vs a sorted-sample oracle), span
+   timers, JSON round-trips, and the qcheck property that sharded
+   recording under N domains merges to the same totals as sequential
+   recording. *)
+
+module Telemetry = Activermt_telemetry.Telemetry
+module Json = Activermt_telemetry.Json
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- Counters and gauges -------------------------------------------------- *)
+
+let test_counter_basic () =
+  let t = Telemetry.create () in
+  Alcotest.(check int) "absent" 0 (Telemetry.counter_value t "c");
+  Telemetry.incr t "c";
+  Telemetry.incr t "c" ~by:4;
+  Alcotest.(check int) "accumulates" 5 (Telemetry.counter_value t "c");
+  Telemetry.incr t "other";
+  Alcotest.(check (list (pair string int)))
+    "sorted listing"
+    [ ("c", 5); ("other", 1) ]
+    (Telemetry.counters t)
+
+let test_gauge_last_write_wins () =
+  let t = Telemetry.create () in
+  Alcotest.(check (option (float 0.0))) "absent" None (Telemetry.gauge_value t "g");
+  Telemetry.set_gauge t "g" 1.5;
+  Telemetry.set_gauge t "g" 7.25;
+  Alcotest.(check (option (float 1e-9))) "last value" (Some 7.25)
+    (Telemetry.gauge_value t "g")
+
+let test_kind_mismatch () =
+  let t = Telemetry.create () in
+  Telemetry.incr t "m";
+  Alcotest.check_raises "counter as histogram"
+    (Invalid_argument "Telemetry: metric \"m\" already registered as a counter")
+    (fun () -> Telemetry.observe t "m" 1.0)
+
+let test_reset () =
+  let t = Telemetry.create () in
+  Telemetry.incr t "c" ~by:3;
+  Telemetry.observe t "h" 0.5;
+  Telemetry.reset t;
+  Alcotest.(check int) "counter cleared" 0 (Telemetry.counter_value t "c");
+  Alcotest.(check bool) "histogram cleared" true
+    (Telemetry.hist_summary t "h" = None)
+
+(* -- Histogram accuracy vs a sorted-sample oracle ------------------------- *)
+
+(* Log buckets at 8 per octave give a worst-case relative error of
+   2^(1/8) - 1 ~= 9.05% when the true quantile sits at a bucket edge; the
+   geometric midpoint halves that in expectation.  10% absorbs both the
+   bucket width and the oracle's rank interpolation. *)
+let tolerance = 0.10
+
+let hist_accuracy_check ~name samples =
+  let t = Telemetry.create () in
+  List.iter (Telemetry.observe t "h") samples;
+  let s = Option.get (Telemetry.hist_summary t "h") in
+  Alcotest.(check int) (name ^ " count") (List.length samples) s.Telemetry.count;
+  check_float (name ^ " sum")
+    (List.fold_left ( +. ) 0.0 samples)
+    s.Telemetry.sum;
+  check_float (name ^ " min") (List.fold_left min (List.hd samples) samples)
+    s.Telemetry.min;
+  check_float (name ^ " max") (List.fold_left max (List.hd samples) samples)
+    s.Telemetry.max;
+  List.iter
+    (fun (p, got) ->
+      let oracle = Stdx.Stats.percentile samples p in
+      let rel = Float.abs (got -. oracle) /. oracle in
+      if rel > tolerance then
+        Alcotest.failf "%s p%.0f: histogram %.6g vs oracle %.6g (%.1f%% off)"
+          name p got oracle (100.0 *. rel))
+    [ (50.0, s.Telemetry.p50); (90.0, s.Telemetry.p90); (99.0, s.Telemetry.p99) ]
+
+let test_hist_exponential () =
+  let rng = Stdx.Prng.create ~seed:42 in
+  let samples =
+    List.init 5000 (fun _ -> Stdx.Prng.exponential rng ~mean:0.001)
+  in
+  hist_accuracy_check ~name:"exponential latencies" samples
+
+let test_hist_uniform () =
+  let rng = Stdx.Prng.create ~seed:7 in
+  let samples = List.init 5000 (fun _ -> 1e-5 +. Stdx.Prng.float rng 0.01) in
+  hist_accuracy_check ~name:"uniform latencies" samples
+
+let test_hist_extremes () =
+  let t = Telemetry.create () in
+  List.iter (Telemetry.observe t "h") [ 0.25; 0.5; 1.0; 2.0 ];
+  check_float "p0 is exact min" 0.25 (Telemetry.hist_percentile t "h" 0.0);
+  check_float "p100 is exact max" 2.0 (Telemetry.hist_percentile t "h" 100.0);
+  check_float "absent histogram" 0.0 (Telemetry.hist_percentile t "nope" 50.0)
+
+let test_hist_out_of_range () =
+  (* Values outside the bucketed range still clamp to the exact min/max. *)
+  let t = Telemetry.create () in
+  Telemetry.observe t "h" 0.0;
+  Telemetry.observe t "h" 1e12;
+  let s = Option.get (Telemetry.hist_summary t "h") in
+  check_float "min" 0.0 s.Telemetry.min;
+  check_float "max" 1e12 s.Telemetry.max;
+  Alcotest.(check int) "count" 2 s.Telemetry.count
+
+(* -- Spans ---------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let clock = ref 0.0 in
+  let t = Telemetry.create ~now:(fun () -> !clock) () in
+  Telemetry.span_begin t "outer";
+  clock := 1.0;
+  Telemetry.span_begin t "inner";
+  clock := 3.0;
+  Telemetry.span_end t;
+  clock := 6.0;
+  Telemetry.span_end t;
+  let inner = Option.get (Telemetry.hist_summary t "inner") in
+  let outer = Option.get (Telemetry.hist_summary t "outer") in
+  check_float "inner elapsed" 2.0 inner.Telemetry.sum;
+  check_float "outer elapsed" 6.0 outer.Telemetry.sum;
+  Alcotest.(check int) "one inner" 1 inner.Telemetry.count
+
+let test_span_unbalanced () =
+  let t = Telemetry.create () in
+  Alcotest.check_raises "no open span"
+    (Invalid_argument "Telemetry.span_end: no open span") (fun () ->
+      Telemetry.span_end t)
+
+let test_with_span_exception () =
+  let clock = ref 0.0 in
+  let t = Telemetry.create ~now:(fun () -> !clock) () in
+  (try
+     Telemetry.with_span t "failing" (fun () ->
+         clock := 0.5;
+         raise Exit)
+   with Exit -> ());
+  let s = Option.get (Telemetry.hist_summary t "failing") in
+  Alcotest.(check int) "recorded despite raise" 1 s.Telemetry.count;
+  check_float "elapsed" 0.5 s.Telemetry.sum
+
+(* -- Dumps ---------------------------------------------------------------- *)
+
+let test_dump_json_roundtrip () =
+  let t = Telemetry.create () in
+  Telemetry.incr t "alloc.admitted" ~by:12;
+  Telemetry.set_gauge t "sim.queue_depth" 3.0;
+  Telemetry.observe t "alloc.score" 0.002;
+  match Json.of_string (Telemetry.dump_json t) with
+  | Error e -> Alcotest.failf "dump does not parse: %s" e
+  | Ok json ->
+    let counter =
+      Json.(member "counters" json |> Option.get |> member "alloc.admitted")
+    in
+    Alcotest.(check (option (float 1e-9))) "counter survives" (Some 12.0)
+      (Option.bind counter Json.to_num);
+    let hist =
+      Json.(member "histograms" json |> Option.get |> member "alloc.score")
+    in
+    Alcotest.(check bool) "histogram present" true (hist <> None)
+
+let test_dump_prometheus () =
+  let t = Telemetry.create () in
+  Telemetry.incr t "alloc.admitted" ~by:2;
+  Telemetry.observe t "alloc.score" 0.001;
+  let out = Telemetry.dump_prometheus t in
+  let contains needle =
+    let nl = String.length needle and l = String.length out in
+    let rec go i = i + nl <= l && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter line" true (contains "alloc_admitted 2");
+  Alcotest.(check bool) "quantile line" true
+    (contains "alloc_score{quantile=\"0.5\"}");
+  Alcotest.(check bool) "count line" true (contains "alloc_score_count 1")
+
+(* -- Json ----------------------------------------------------------------- *)
+
+let test_json_parse () =
+  let text = {| {"a": [1, 2.5, -3e2], "b": {"s": "x\ny"}, "t": true, "n": null} |} in
+  match Json.of_string text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok v ->
+    let a = Json.(member "a" v |> Option.get |> to_arr |> Option.get) in
+    Alcotest.(check (list (float 1e-9))) "numbers" [ 1.0; 2.5; -300.0 ]
+      (List.filter_map Json.to_num a);
+    Alcotest.(check (option string)) "nested string" (Some "x\ny")
+      Json.(member "b" v |> Option.get |> member "s" |> Fun.flip Option.bind to_str);
+    Alcotest.(check (option bool)) "bool" (Some true)
+      (Option.bind (Json.member "t" v) Json.to_bool)
+
+let test_json_errors () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Json.of_string "{"));
+  Alcotest.(check bool) "trailing rejected" true
+    (Result.is_error (Json.of_string "1 2"))
+
+let prop_json_roundtrip =
+  let gen_json =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          let scalar =
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun v -> Json.Num (float_of_int v)) (int_range (-1000) 1000);
+                map (fun s -> Json.Str s) (string_size ~gen:printable (int_range 0 8));
+              ]
+          in
+          if n <= 0 then scalar
+          else
+            oneof
+              [
+                scalar;
+                map (fun l -> Json.Arr l) (list_size (int_range 0 4) (self (n / 2)));
+                map
+                  (fun kvs -> Json.Obj kvs)
+                  (list_size (int_range 0 4)
+                     (pair (string_size ~gen:printable (int_range 1 6)) (self (n / 2))));
+              ]))
+  in
+  QCheck.Test.make ~name:"json print/parse roundtrip" ~count:200
+    (QCheck.make gen_json)
+    (fun v -> Json.of_string (Json.to_string v) = Ok v)
+
+(* -- Sharded recording under domains -------------------------------------- *)
+
+(* Integer-valued floats keep every partial sum exact, so the merged
+   totals must equal the sequential ones bit-for-bit no matter how the
+   work was split across shards. *)
+let record reg i =
+  Telemetry.incr reg "c" ~by:(1 + (i mod 5));
+  Telemetry.observe reg "h" (float_of_int ((i * 7919 mod 997) + 1))
+
+let prop_sharded_merge =
+  QCheck.Test.make ~name:"sharded recording merges to sequential totals"
+    ~count:20
+    QCheck.(pair (int_range 1 6) (int_range 0 3000))
+    (fun (size, n) ->
+      let seq = Telemetry.create () in
+      for i = 0 to n - 1 do
+        record seq i
+      done;
+      let par = Telemetry.create () in
+      let pool = Stdx.Domain_pool.create ~size () in
+      Stdx.Domain_pool.parallel_for pool ~n ~f:(record par);
+      Telemetry.counter_value par "c" = Telemetry.counter_value seq "c"
+      && Telemetry.hist_summary par "h" = Telemetry.hist_summary seq "h")
+
+let test_sharded_fanout_exact () =
+  let n = 4096 in
+  let par = Telemetry.create () in
+  let pool = Stdx.Domain_pool.create ~size:4 () in
+  Stdx.Domain_pool.parallel_for pool ~n ~f:(record par);
+  Alcotest.(check int) "counter total"
+    (List.init n Fun.id |> List.fold_left (fun acc i -> acc + 1 + (i mod 5)) 0)
+    (Telemetry.counter_value par "c");
+  Alcotest.(check int) "histogram count" n
+    (Option.get (Telemetry.hist_summary par "h")).Telemetry.count
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basic" `Quick test_counter_basic;
+          Alcotest.test_case "gauge last write" `Quick test_gauge_last_write_wins;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "exponential vs oracle" `Quick test_hist_exponential;
+          Alcotest.test_case "uniform vs oracle" `Quick test_hist_uniform;
+          Alcotest.test_case "extreme percentiles" `Quick test_hist_extremes;
+          Alcotest.test_case "out-of-range values" `Quick test_hist_out_of_range;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "unbalanced end" `Quick test_span_unbalanced;
+          Alcotest.test_case "records on exception" `Quick test_with_span_exception;
+        ] );
+      ( "dumps",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_dump_json_roundtrip;
+          Alcotest.test_case "prometheus" `Quick test_dump_prometheus;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
+      ( "sharding",
+        [
+          QCheck_alcotest.to_alcotest prop_sharded_merge;
+          Alcotest.test_case "fan-out totals exact" `Quick test_sharded_fanout_exact;
+        ] );
+    ]
