@@ -70,6 +70,7 @@ let measure ~label ~workload ~domains arrivals =
       | Allocator.Rejected r -> times := r.Allocator.compute_time_s :: !times)
     arrivals;
   let wall_s = Unix.gettimeofday () -. t0 in
+  Allocator.shutdown alloc;
   let ms p = 1000.0 *. Stats.percentile !times p in
   {
     label;
@@ -179,7 +180,32 @@ let json_of_run ~quick ~n stats =
       ("fastpath", Json.Arr (List.map json_of_stats stats));
     ]
 
+(* Rewrite the file but carry over sections other bench entries own
+   (currently the fleet bench's "fleet" member), so running [alloc]
+   after [fleet] doesn't erase the fleet numbers. *)
 let write_json ~path json =
+  let preserved =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.of_string text with
+      | Ok old ->
+        List.filter_map
+          (fun key -> Option.map (fun v -> (key, v)) (Json.member key old))
+          [ "fleet" ]
+      | Error _ -> []
+    end
+    else []
+  in
+  let json =
+    match (json, preserved) with
+    | Json.Obj fields, _ :: _ ->
+      Json.Obj
+        (List.filter (fun (k, _) -> not (List.mem_assoc k preserved)) fields
+        @ preserved)
+    | _ -> json
+  in
   let oc = open_out path in
   output_string oc (Json.to_string ~pretty:true json);
   output_char oc '\n';

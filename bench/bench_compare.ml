@@ -10,7 +10,13 @@
    across machines, so the multi-domain record matches whatever width the
    current run used).  Wide default tolerances absorb runner-speed noise;
    the gate exists to catch order-of-magnitude regressions, not 5%
-   jitter. *)
+   jitter.
+
+   Candidate-only material is informational, never a failure: fastpath
+   records with no matching baseline config and top-level sections the
+   baseline lacks (e.g. a newly added "fleet" section) print as INFO
+   lines, so new bench entries can land before the baseline is
+   refreshed.  Only regressed or missing *common* entries gate. *)
 
 module Json = Activermt_telemetry.Json
 
@@ -74,8 +80,10 @@ let () =
     | [ b; c ] -> (b, c)
     | _ -> die "usage: bench_compare.exe BASELINE CURRENT [--max-tput-drop F] [--max-p99-growth F]"
   in
-  let base = records_of base_path (load base_path) in
-  let cur = records_of cur_path (load cur_path) in
+  let base_json = load base_path in
+  let cur_json = load cur_path in
+  let base = records_of base_path base_json in
+  let cur = records_of cur_path cur_json in
   let failures = ref 0 in
   List.iter
     (fun b ->
@@ -96,6 +104,22 @@ let () =
           b.workload b.domains b.arrivals_per_sec c.arrivals_per_sec tput_floor
           b.p99_ms c.p99_ms p99_ceil)
     base;
+  (* Candidate-only entries: new configurations the baseline doesn't
+     know yet.  Report, don't gate. *)
+  List.iter
+    (fun c ->
+      if not (List.exists (fun b -> config b = config c) base) then
+        Printf.printf "INFO     %-6s d%-2d  new entry (no baseline): tput %9.1f /s  p99 %7.3f ms\n"
+          c.workload c.domains c.arrivals_per_sec c.p99_ms)
+    cur;
+  (match (Json.to_obj cur_json, Json.to_obj base_json) with
+  | Some cur_fields, Some base_fields ->
+    List.iter
+      (fun (key, _) ->
+        if not (List.mem_assoc key base_fields) then
+          Printf.printf "INFO     new section %S (no baseline counterpart)\n" key)
+      cur_fields
+  | _ -> ());
   if !failures > 0 then begin
     Printf.printf "%d regression(s) against %s\n" !failures base_path;
     exit 1

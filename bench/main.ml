@@ -134,6 +134,21 @@ let experiments =
       info = "admit throughput for the allocation fast path (BENCH_alloc.json)";
       run = (fun ~quick -> Alloc_bench.run ~quick);
     };
+    {
+      name = "fleet";
+      info = "multi-switch placement capacity and failover (BENCH_alloc.json)";
+      run = (fun ~quick -> Fleet_bench.run ~quick);
+    };
+    {
+      name = "fleetscale";
+      info = "fleet scaling sweep: switch count x offered load";
+      run =
+        (fun ~quick ->
+          let arrival_counts = if quick then [ 50; 100 ] else [ 50; 150; 300 ] in
+          let switch_counts = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+          E.Fleet_scale.run ~switch_counts ~arrival_counts
+            (Rmt.Params.with_blocks_per_stage params 32));
+    };
     { name = "micro"; info = "Bechamel microbenchmarks"; run = (fun ~quick:_ -> Micro.run ()) };
   ]
 

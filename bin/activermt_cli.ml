@@ -5,6 +5,7 @@
      disasm   decode instruction bytes (hex) back to assembly
      mutants  show the mutant space of a program under a policy
      allocsim replay a comma-separated arrival list against the allocator
+     fleetsim replay a service workload against a multi-switch fleet
      apps     print the bundled example services *)
 
 module Spec = Activermt_compiler.Spec
@@ -144,6 +145,70 @@ and cmd_allocsim spec_str scheme policy domains metrics_out =
   Printf.printf "final utilization: %.3f\n" (Allocator.utilization alloc);
   write_metrics metrics_out
 
+and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw metrics_out =
+  let module Topology = Activermt_fleet.Topology in
+  let module Placement = Activermt_fleet.Placement in
+  let module Fleet = Activermt_fleet.Fleet in
+  let module Churn = Workload.Churn in
+  (match fail_sw with
+  | Some sw when sw < 0 || sw >= switches ->
+    Printf.eprintf "error: --fail %d out of range for %d switches\n" sw switches;
+    exit 1
+  | _ -> ());
+  let topo =
+    match topo_kind with
+    | `Mesh -> Topology.full_mesh ~switches ~latency_s:1e-5
+    | `Line -> Topology.line ~switches ~latency_s:1e-5
+    | `Star -> Topology.star ~switches ~latency_s:1e-5
+  in
+  let fleet = Fleet.create ~policy topo in
+  let events =
+    List.concat_map
+      (fun (e : Churn.epoch) ->
+        List.filter_map
+          (function
+            | Churn.Arrive { fid; kind } -> Some (fid, kind)
+            | Churn.Depart _ -> None)
+          e.Churn.events)
+      (Churn.mixed_arrivals ~n:arrivals (Stdx.Prng.create ~seed))
+  in
+  Printf.printf "fleetsim: %d switches (%s), %s placement, %d arrivals, seed %d\n"
+    switches
+    (match topo_kind with `Mesh -> "full mesh" | `Line -> "line" | `Star -> "star")
+    (Placement.policy_to_string policy)
+    arrivals seed;
+  let halfway = List.length events / 2 in
+  List.iteri
+    (fun i (fid, kind) ->
+      (match fail_sw with
+      | Some sw when i = halfway && Fleet.is_up fleet ~sw ->
+        let { Fleet.relocated; lost } = Fleet.fail_switch fleet ~sw in
+        Printf.printf
+          "-- switch %d failed after %d arrivals: %d relocated, %d lost\n" sw i
+          (List.length relocated) (List.length lost)
+      | _ -> ());
+      ignore (Fleet.admit fleet ~fid (Experiments.Harness.app_of_kind kind)))
+    events;
+  let tel = Telemetry.default in
+  Printf.printf "%-8s %-5s %-10s %-12s\n" "switch" "up" "residents" "utilization";
+  List.iter
+    (fun { Placement.switch; utilization; residents; up } ->
+      Printf.printf "%-8d %-5s %-10d %-12.3f\n" switch
+        (if up then "yes" else "DOWN")
+        residents utilization)
+    (Fleet.loads fleet);
+  Printf.printf
+    "admitted %d  rejected %d  spillover %d  migrated %d  lost %d  occupancy %.3f\n"
+    (Telemetry.counter_value tel "fleet.admitted")
+    (Telemetry.counter_value tel "fleet.rejected")
+    (Telemetry.counter_value tel "fleet.spillover")
+    (Telemetry.counter_value tel "fleet.migrated")
+    (Telemetry.counter_value tel "fleet.lost")
+    (match Telemetry.gauge_value tel "fleet.occupancy" with
+    | Some v -> v
+    | None -> 0.0);
+  write_metrics metrics_out
+
 and cmd_trace path args_str privileged metrics_out =
   let program = read_program path in
   let spec = Spec.analyze program in
@@ -262,13 +327,23 @@ let metrics_out_arg =
           ~doc:"Dump the telemetry registry (counters, gauges, span \
                 histograms) as JSON to $(docv) when the command finishes."))
 
+let positive_int =
+  Arg.conv
+    ( (fun s ->
+        match int_of_string_opt s with
+        | Some v when v >= 1 -> Ok v
+        | Some v ->
+          Error (`Msg (Printf.sprintf "expected a positive integer, got %d" v))
+        | None -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))),
+      fun fmt v -> Format.pp_print_int fmt v )
+
 let domains_arg =
   Arg.value
-    (Arg.opt Arg.int 1
+    (Arg.opt positive_int 1
        (Arg.info [ "domains" ] ~docv:"N"
-          ~doc:"Scoring fan-out width: mutants are scored on $(docv) domains \
-                against a per-arrival occupancy snapshot; decisions are \
-                identical at any width."))
+          ~doc:"Scoring fan-out width (>= 1): mutants are scored on $(docv) \
+                domains against a per-arrival occupancy snapshot; decisions \
+                are identical at any width."))
 
 let allocsim_cmd =
   let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"cache,hh,lb,...") in
@@ -276,6 +351,52 @@ let allocsim_cmd =
     Term.(
       const cmd_allocsim $ spec $ scheme_arg $ policy_arg $ domains_arg
       $ metrics_out_arg)
+
+let fleetsim_cmd =
+  let module Placement = Activermt_fleet.Placement in
+  let switches_arg =
+    Arg.value
+      (Arg.opt positive_int 4
+         (Arg.info [ "switches" ] ~docv:"N" ~doc:"Number of switches."))
+  in
+  let topo_arg =
+    Arg.value
+      (Arg.opt
+         (Arg.enum [ ("mesh", `Mesh); ("line", `Line); ("star", `Star) ])
+         `Mesh
+         (Arg.info [ "topology" ] ~docv:"mesh|line|star"))
+  in
+  let policy_arg =
+    let pconv =
+      Arg.conv
+        ( (fun s -> Result.map_error (fun e -> `Msg e) (Placement.policy_of_string s)),
+          fun fmt p -> Format.pp_print_string fmt (Placement.policy_to_string p) )
+    in
+    Arg.value
+      (Arg.opt pconv Placement.Least_loaded
+         (Arg.info [ "policy" ] ~docv:"first-fit|least-loaded|locality"))
+  in
+  let arrivals_arg =
+    Arg.value
+      (Arg.opt positive_int 100
+         (Arg.info [ "arrivals" ] ~docv:"N" ~doc:"Seeded mixed arrivals to offer."))
+  in
+  let seed_arg =
+    Arg.value (Arg.opt Arg.int 7001 (Arg.info [ "seed" ] ~docv:"SEED"))
+  in
+  let fail_arg =
+    Arg.value
+      (Arg.opt (Arg.some Arg.int) None
+         (Arg.info [ "fail" ] ~docv:"SWITCH"
+            ~doc:"Fail this switch halfway through the arrival sequence; its \
+                  resident services are re-placed on the survivors."))
+  in
+  Cmd.v
+    (Cmd.info "fleetsim"
+       ~doc:"replay a service workload against a multi-switch fleet")
+    Term.(
+      const cmd_fleetsim $ switches_arg $ topo_arg $ policy_arg $ arrivals_arg
+      $ seed_arg $ fail_arg $ metrics_out_arg)
 
 let trace_cmd =
   let args_arg =
@@ -298,4 +419,5 @@ let p4gen_cmd =
 let () =
   let info = Cmd.info "activermt" ~doc:"ActiveRMT tools (SIGCOMM 2023 reproduction)" in
   exit (Cmd.eval (Cmd.group info
-       [ asm_cmd; disasm_cmd; mutants_cmd; allocsim_cmd; trace_cmd; apps_cmd; p4gen_cmd ]))
+       [ asm_cmd; disasm_cmd; mutants_cmd; allocsim_cmd; fleetsim_cmd; trace_cmd;
+         apps_cmd; p4gen_cmd ]))

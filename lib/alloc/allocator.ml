@@ -110,6 +110,7 @@ let params t = t.params
 let scheme t = t.scheme
 let policy t = t.policy
 let domains t = Stdx.Domain_pool.size t.dpool
+let shutdown t = Stdx.Domain_pool.shutdown t.dpool
 let resident t = Hashtbl.fold (fun fid _ acc -> fid :: acc) t.apps []
 let is_resident t ~fid = Hashtbl.mem t.apps fid
 

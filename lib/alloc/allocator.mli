@@ -78,6 +78,13 @@ val policy : t -> Mutant.policy
 val domains : t -> int
 (** The scoring fan-out width [create] was given (>= 1). *)
 
+val shutdown : t -> unit
+(** Join the scoring worker domains ([create ~domains] spawns them once
+    and parks them between admissions).  Idempotent; afterwards scoring
+    runs sequentially.  Pools left running are reaped at process exit,
+    but each holds [domains - 1] live domains until then — shut down
+    allocators you create in a loop. *)
+
 val admit : t -> arrival -> outcome
 (** @raise Invalid_argument if the FID is already resident or the demand
     array does not match the spec's accesses. *)

@@ -1,0 +1,62 @@
+open Import
+
+let arrivals ~n ~seed =
+  List.concat_map
+    (fun (e : Churn.epoch) ->
+      List.filter_map
+        (function
+          | Churn.Arrive { fid; kind } -> Some (fid, kind)
+          | Churn.Depart _ -> None)
+        e.Churn.events)
+    (Churn.mixed_arrivals ~n (Prng.create ~seed))
+
+let run ?(switch_counts = [ 1; 2; 4; 8 ]) ?(arrival_counts = [ 50; 150; 300 ])
+    ?(seed = 4242) params =
+  Report.figure ~id:"fleet"
+    ~title:"Fleet scaling: concurrent services vs switch count and offered load";
+  Report.columns
+    [ "switches"; "arrivals"; "admitted"; "rejected"; "spillover"; "occupancy" ];
+  let best_single = ref 0 and best_fleet = ref (0, 0) in
+  List.iter
+    (fun switches ->
+      List.iter
+        (fun n ->
+          let tel = Telemetry.create () in
+          let topo = Topology.full_mesh ~switches ~latency_s:1e-5 in
+          let fleet =
+            Fleet.create ~policy:Placement.Least_loaded ~params ~telemetry:tel
+              topo
+          in
+          List.iter
+            (fun (fid, kind) ->
+              ignore (Fleet.admit fleet ~fid (Harness.app_of_kind kind)))
+            (arrivals ~n ~seed);
+          let admitted = Telemetry.counter_value tel "fleet.admitted" in
+          let occupancy =
+            Option.value ~default:0.0 (Telemetry.gauge_value tel "fleet.occupancy")
+          in
+          if switches = 1 then best_single := max !best_single admitted;
+          if admitted > fst !best_fleet then best_fleet := (admitted, switches);
+          Report.row
+            [
+              Report.int_cell switches;
+              Report.int_cell n;
+              Report.int_cell admitted;
+              Report.int_cell (Telemetry.counter_value tel "fleet.rejected");
+              Report.int_cell (Telemetry.counter_value tel "fleet.spillover");
+              Report.float_cell occupancy;
+            ])
+        arrival_counts)
+    switch_counts;
+  let best, at = !best_fleet in
+  Report.summary
+    [
+      ("max admitted, single switch", string_of_int !best_single);
+      ( "max admitted, fleet",
+        Printf.sprintf "%d (at %d switches)" best at );
+      ( "capacity scaling",
+        if !best_single > 0 then
+          Printf.sprintf "%.2fx" (float_of_int best /. float_of_int !best_single)
+        else "n/a" );
+    ];
+  Report.blank ()

@@ -1,0 +1,14 @@
+(** Beyond-paper fleet experiment: how many concurrently admitted
+    services a multi-switch fleet sustains as the offered load grows,
+    swept over switch count x arrival count and placement policy. *)
+
+val run :
+  ?switch_counts:int list ->
+  ?arrival_counts:int list ->
+  ?seed:int ->
+  Rmt.Params.t ->
+  unit
+(** Defaults: switch counts [1; 2; 4; 8], arrival counts [50; 150; 300],
+    seed 4242.  Every cell replays the same seeded mixed workload into a
+    fresh full-mesh fleet under least-loaded placement and reports
+    admitted/rejected/spill-over counts and final mean occupancy. *)

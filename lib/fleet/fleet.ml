@@ -1,0 +1,434 @@
+open Import
+module Pool = Activermt_alloc.Pool
+module Runtime = Activermt.Runtime
+
+type node = {
+  sw : Topology.switch_id;
+  controller : Controller.t;
+  fabric : Fabric.t;
+}
+
+type t = {
+  topo : Topology.t;
+  engine : Engine.t;
+  policy : Placement.policy;
+  nodes : node array;
+  down : bool array;
+  residency : (int, Topology.switch_id) Hashtbl.t;
+  apps : (int, App.t) Hashtbl.t;
+  clients : (int, Fabric.address) Hashtbl.t;
+  shims : (int, Shim.t) Hashtbl.t;
+  memsync_word_budget : int;
+  tel : Telemetry.t;
+}
+
+let sw_counter i name = Printf.sprintf "fleet.sw.%d.%s" i name
+
+let update_occupancy t =
+  let ups = ref 0 and sum = ref 0.0 in
+  Array.iteri
+    (fun i node ->
+      let u = Allocator.utilization (Controller.allocator node.controller) in
+      Telemetry.set_gauge t.tel (sw_counter i "utilization") u;
+      if not t.down.(i) then begin
+        incr ups;
+        sum := !sum +. u
+      end)
+    t.nodes;
+  Telemetry.set_gauge t.tel "fleet.occupancy"
+    (if !ups = 0 then 0.0 else !sum /. float_of_int !ups)
+
+(* Bridge a message that surfaced at switch [from] but is destined for a
+   node behind another switch: one link hop toward the target, then into
+   the neighbour fabric (whose own switch processing applies — transit
+   switches forward FIDs they don't host as plain traffic). *)
+let route t ~from msg =
+  let target =
+    if msg.Fabric.dst < Array.length t.nodes then Some msg.Fabric.dst
+    else Topology.home_of t.topo ~client:msg.Fabric.dst
+  in
+  match target with
+  | None -> Telemetry.incr t.tel "fleet.unroutable"
+  | Some target -> (
+    match Topology.next_hop t.topo ~src:from ~dst:target with
+    | None -> Telemetry.incr t.tel "fleet.unroutable"
+    | Some hop ->
+      if t.down.(hop) then Telemetry.incr t.tel "fleet.unroutable"
+      else begin
+        Telemetry.incr t.tel "fleet.bridged";
+        Engine.schedule t.engine
+          ~delay:(Topology.latency t.topo ~src:from ~dst:hop)
+          (fun () -> Fabric.send t.nodes.(hop).fabric msg)
+      end)
+
+let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.default)
+    ?wire_latency_s ?(memsync_word_budget = 4096) ?(telemetry = Telemetry.default)
+    topo =
+  if memsync_word_budget < 0 then
+    invalid_arg "Fleet.create: memsync_word_budget must be non-negative";
+  let n = Topology.switches topo in
+  let engine = Engine.create ~telemetry () in
+  let nodes =
+    Array.init n (fun sw ->
+        let device = Rmt.Device.create params in
+        let controller =
+          Controller.create ?scheme ~mode:`Auto ~telemetry:telemetry device
+        in
+        let fabric =
+          Fabric.create ~address:sw ?wire_latency_s ~telemetry ~engine ~controller ()
+        in
+        { sw; controller; fabric })
+  in
+  let t =
+    {
+      topo;
+      engine;
+      policy;
+      nodes;
+      down = Array.make n false;
+      residency = Hashtbl.create 64;
+      apps = Hashtbl.create 64;
+      clients = Hashtbl.create 64;
+      shims = Hashtbl.create 64;
+      memsync_word_budget;
+      tel = telemetry;
+    }
+  in
+  (* Every fabric learns to bridge the other switches' addresses. *)
+  Array.iteri
+    (fun s node ->
+      for b = 0 to n - 1 do
+        if b <> s then Fabric.attach node.fabric b (fun msg -> route t ~from:s msg)
+      done;
+      Telemetry.set_gauge t.tel (sw_counter s "up") 1.0)
+    nodes;
+  update_occupancy t;
+  t
+
+let n_switches t = Array.length t.nodes
+let topology t = t.topo
+let policy t = t.policy
+let engine t = t.engine
+
+let node t ~sw =
+  if sw < 0 || sw >= Array.length t.nodes then
+    invalid_arg "Fleet: switch out of range";
+  t.nodes.(sw)
+
+let controller t ~sw = (node t ~sw).controller
+let fabric t ~sw = (node t ~sw).fabric
+
+let is_up t ~sw =
+  if sw < 0 || sw >= Array.length t.nodes then
+    invalid_arg "Fleet.is_up: switch out of range";
+  not t.down.(sw)
+
+let loads t =
+  Array.to_list
+    (Array.mapi
+       (fun i node ->
+         let alloc = Controller.allocator node.controller in
+         {
+           Placement.switch = i;
+           utilization = Allocator.utilization alloc;
+           residents = List.length (Allocator.resident alloc);
+           up = not t.down.(i);
+         })
+       t.nodes)
+
+let attach_client t ~client ~home handler =
+  if client < Array.length t.nodes then
+    invalid_arg "Fleet.attach_client: client address collides with a switch id";
+  Topology.home t.topo ~client home;
+  Array.iteri
+    (fun i node ->
+      if i = home then Fabric.attach node.fabric client handler
+      else Fabric.attach node.fabric client (fun msg -> route t ~from:i msg))
+    t.nodes
+
+let inject t ~client msg =
+  match Topology.home_of t.topo ~client with
+  | None -> invalid_arg "Fleet.inject: unknown client"
+  | Some home -> Fabric.send t.nodes.(home).fabric msg
+
+let shim_step t ~fid ev =
+  match Hashtbl.find_opt t.shims fid with
+  | None -> ()
+  | Some shim -> ignore (Shim.transition shim ev)
+
+(* Try the service at one specific switch's controller; true on commit. *)
+let admit_at t ~sw ~fid app =
+  let request = Negotiate.request_packet ~fid ~seq:0 app in
+  match Controller.handle_request t.nodes.(sw).controller request with
+  | Ok _provision -> true
+  | Error (`Rejected _) | Error (`Bad_packet _) -> false
+
+let bind_placement t ~fid ~sw =
+  Hashtbl.replace t.residency fid sw;
+  (match Hashtbl.find_opt t.clients fid with
+  | Some owner -> Fabric.register_fid t.nodes.(sw).fabric ~fid ~owner
+  | None -> ());
+  update_occupancy t
+
+let admit t ?client ~fid app =
+  if Hashtbl.mem t.residency fid then
+    invalid_arg (Printf.sprintf "Fleet.admit: fid %d already placed" fid);
+  Telemetry.with_span t.tel "fleet.place" @@ fun () ->
+  let home = Option.bind client (fun c -> Topology.home_of t.topo ~client:c) in
+  let candidates = Placement.order t.policy ~home (loads t) in
+  let rec go tried = function
+    | [] ->
+      Telemetry.incr t.tel "fleet.rejected";
+      Error `No_capacity
+    | sw :: rest ->
+      if admit_at t ~sw ~fid app then begin
+        Hashtbl.replace t.apps fid app;
+        (match client with
+        | Some c -> Hashtbl.replace t.clients fid c
+        | None -> ());
+        let shim = Shim.create ~fid in
+        ignore (Shim.transition shim Shim.Request_sent);
+        ignore (Shim.transition shim Shim.Response_granted);
+        Hashtbl.replace t.shims fid shim;
+        bind_placement t ~fid ~sw;
+        Telemetry.incr t.tel "fleet.admitted";
+        Telemetry.incr t.tel (sw_counter sw "admitted");
+        if tried > 0 then Telemetry.incr t.tel "fleet.spillover";
+        Ok sw
+      end
+      else go (tried + 1) rest
+  in
+  go 0 candidates
+
+let forget t ~fid =
+  Hashtbl.remove t.residency fid;
+  Hashtbl.remove t.apps fid;
+  Hashtbl.remove t.clients fid;
+  Hashtbl.remove t.shims fid
+
+let depart t ~fid =
+  match Hashtbl.find_opt t.residency fid with
+  | None -> false
+  | Some sw ->
+    if not t.down.(sw) then
+      ignore (Controller.handle_departure t.nodes.(sw).controller ~fid);
+    shim_step t ~fid Shim.Released;
+    forget t ~fid;
+    Telemetry.incr t.tel "fleet.departed";
+    update_occupancy t;
+    true
+
+(* Run a memsync driver to completion directly against a switch's
+   tables: loss-free, so one [start] pass answers every index. *)
+let run_memsync node driver =
+  let tables = Controller.tables node.controller in
+  let send ~seq pkt =
+    let meta = Runtime.meta ~src:1 ~dst:0 () in
+    let r = Runtime.run tables ~meta pkt in
+    match r.Runtime.decision with
+    | Runtime.Return_to_sender ->
+      ignore (Memsync_driver.on_reply driver ~seq ~args:r.Runtime.args_out)
+    | Runtime.Forward _ | Runtime.Dropped _ -> ()
+  in
+  Memsync_driver.start driver ~now:0.0 ~send;
+  Memsync_driver.is_done driver
+
+let words_per_block node =
+  Rmt.Params.words_per_block (Rmt.Device.params (Controller.device node.controller))
+
+(* Drain a service's regions.  [data_plane] selects the normal migration
+   path (memsync packets up to the word budget); switch failures force
+   the control plane, since a dead switch executes nothing. *)
+let extract_state t node ~fid ~data_plane =
+  let alloc = Controller.allocator node.controller in
+  match Allocator.regions_of alloc ~fid with
+  | None -> []
+  | Some regions ->
+    let wpb = words_per_block node in
+    List.map
+      (fun { Allocator.stage; range } ->
+        let n_words = range.Pool.n_blocks * wpb in
+        let control_plane () =
+          match Controller.read_region node.controller ~fid ~stage with
+          | Some words -> words
+          | None -> Array.make n_words 0
+        in
+        let words =
+          if data_plane && n_words <= t.memsync_word_budget then begin
+            let driver =
+              Memsync_driver.create ~fid ~stages:[ stage ] ~count:n_words
+                ~timeout_s:1.0 Memsync_driver.Read
+            in
+            if run_memsync node driver then begin
+              Telemetry.incr t.tel "fleet.memsync.words_read" ~by:n_words;
+              (Memsync_driver.values driver).(0)
+            end
+            else control_plane ()
+          end
+          else control_plane ()
+        in
+        (stage, words))
+      regions
+
+(* Positional repopulation: k-th captured region into k-th current
+   region (both ascending stage), min of the two sizes. *)
+let inject_state t node ~fid state =
+  let alloc = Controller.allocator node.controller in
+  match Allocator.regions_of alloc ~fid with
+  | None -> ()
+  | Some regions ->
+    let wpb = words_per_block node in
+    List.iteri
+      (fun k { Allocator.stage; range } ->
+        match List.nth_opt state k with
+        | None -> ()
+        | Some (_src_stage, words) ->
+          let n_words = range.Pool.n_blocks * wpb in
+          let count = min n_words (Array.length words) in
+          if count > 0 then
+            if count <= t.memsync_word_budget then begin
+              let driver =
+                Memsync_driver.create ~fid ~stages:[ stage ] ~count ~timeout_s:1.0
+                  (Memsync_driver.Write (fun i -> [ words.(i) ]))
+              in
+              if run_memsync node driver then
+                Telemetry.incr t.tel "fleet.memsync.words_written" ~by:count
+              else
+                for i = 0 to count - 1 do
+                  ignore
+                    (Controller.write_region_word node.controller ~fid ~stage
+                       ~index:i ~value:words.(i))
+                done
+            end
+            else
+              for i = 0 to count - 1 do
+                ignore
+                  (Controller.write_region_word node.controller ~fid ~stage
+                     ~index:i ~value:words.(i))
+              done)
+      regions
+
+let read_state t ~fid =
+  match Hashtbl.find_opt t.residency fid with
+  | None -> []
+  | Some sw -> extract_state t t.nodes.(sw) ~fid ~data_plane:(not t.down.(sw))
+
+let write_state t ~fid state =
+  match Hashtbl.find_opt t.residency fid with
+  | None -> ()
+  | Some sw -> inject_state t t.nodes.(sw) ~fid state
+
+let migrate t ~fid ~dst =
+  match Hashtbl.find_opt t.residency fid with
+  | None -> Error `Unknown_fid
+  | Some src ->
+    if dst < 0 || dst >= Array.length t.nodes then
+      invalid_arg "Fleet.migrate: switch out of range";
+    if t.down.(dst) then Error `Switch_down
+    else if src = dst then Ok ()
+    else
+      Telemetry.with_span t.tel "fleet.migrate" @@ fun () ->
+      let app = Hashtbl.find t.apps fid in
+      shim_step t ~fid Shim.Realloc_notified;
+      let state = extract_state t t.nodes.(src) ~fid ~data_plane:(not t.down.(src)) in
+      if not t.down.(src) then
+        ignore (Controller.handle_departure t.nodes.(src).controller ~fid);
+      Hashtbl.remove t.residency fid;
+      if admit_at t ~sw:dst ~fid app then begin
+        inject_state t t.nodes.(dst) ~fid state;
+        bind_placement t ~fid ~sw:dst;
+        shim_step t ~fid Shim.Extraction_done;
+        Telemetry.incr t.tel "fleet.migrated";
+        Telemetry.incr t.tel (sw_counter src "out");
+        Telemetry.incr t.tel (sw_counter dst "in");
+        Ok ()
+      end
+      else if (not t.down.(src)) && admit_at t ~sw:src ~fid app then begin
+        (* Destination refused: restore at the source, state intact. *)
+        inject_state t t.nodes.(src) ~fid state;
+        bind_placement t ~fid ~sw:src;
+        shim_step t ~fid Shim.Extraction_done;
+        Telemetry.incr t.tel "fleet.migrate_refused";
+        Error `Refused
+      end
+      else begin
+        forget t ~fid;
+        Telemetry.incr t.tel "fleet.lost";
+        update_occupancy t;
+        Error `Lost
+      end
+
+let residents t =
+  Hashtbl.fold (fun fid sw acc -> (fid, sw) :: acc) t.residency []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let switch_of t ~fid = Hashtbl.find_opt t.residency fid
+
+let residents_of t ~sw =
+  Hashtbl.fold (fun fid s acc -> if s = sw then fid :: acc else acc) t.residency []
+  |> List.sort compare
+
+type failover = {
+  relocated : (int * Topology.switch_id) list;
+  lost : int list;
+}
+
+let fail_switch t ~sw =
+  if sw < 0 || sw >= Array.length t.nodes then
+    invalid_arg "Fleet.fail_switch: switch out of range";
+  if t.down.(sw) then { relocated = []; lost = [] }
+  else begin
+    t.down.(sw) <- true;
+    Telemetry.set_gauge t.tel (sw_counter sw "up") 0.0;
+    Telemetry.incr t.tel "fleet.failures";
+    let evacuees = residents_of t ~sw in
+    (* Snapshot every resident's state from the frozen pool before any
+       cleanup: departures trigger elastic expansion among the remaining
+       residents, which must not perturb what we recover.  The data
+       plane through the dead switch is gone; recovery goes over the
+       management network (control plane). *)
+    let states =
+      List.map
+        (fun fid -> (fid, extract_state t t.nodes.(sw) ~fid ~data_plane:false))
+        evacuees
+    in
+    List.iter
+      (fun fid ->
+        ignore (Controller.handle_departure t.nodes.(sw).controller ~fid);
+        Hashtbl.remove t.residency fid)
+      evacuees;
+    let relocated = ref [] and lost = ref [] in
+    List.iter
+      (fun (fid, state) ->
+        let app = Hashtbl.find t.apps fid in
+        let home =
+          Option.bind (Hashtbl.find_opt t.clients fid) (fun c ->
+              Topology.home_of t.topo ~client:c)
+        in
+        let candidates = Placement.order t.policy ~home (loads t) in
+        let rec go = function
+          | [] ->
+            forget t ~fid;
+            Telemetry.incr t.tel "fleet.lost";
+            lost := fid :: !lost
+          | dst :: rest ->
+            if admit_at t ~sw:dst ~fid app then begin
+              inject_state t t.nodes.(dst) ~fid state;
+              bind_placement t ~fid ~sw:dst;
+              shim_step t ~fid Shim.Realloc_notified;
+              shim_step t ~fid Shim.Extraction_done;
+              Telemetry.incr t.tel "fleet.migrated";
+              Telemetry.incr t.tel (sw_counter sw "out");
+              Telemetry.incr t.tel (sw_counter dst "in");
+              relocated := (fid, dst) :: !relocated
+            end
+            else go rest
+        in
+        go candidates)
+      states;
+    update_occupancy t;
+    { relocated = List.rev !relocated; lost = List.rev !lost }
+  end
+
+let schedule_failure t ~at ~sw =
+  Engine.schedule_at t.engine ~time:at (fun () -> ignore (fail_switch t ~sw))

@@ -1,0 +1,140 @@
+open Import
+
+(** A fleet of runtime-programmable switches under one global placement
+    layer.
+
+    Each switch in the {!Topology} gets its own device, controller and
+    allocator, plus a {!Netsim.Fabric} instance addressed by its switch
+    id; all fabrics share one discrete-event engine, and traffic whose
+    destination lives behind another switch is bridged hop-by-hop along
+    shortest paths (each inter-switch hop adds the link latency, and
+    every transit switch runs its own pipeline over the packet — a
+    service's programs only execute where its FID's tables are
+    installed).
+
+    Admission is global: the fleet snapshots every switch's pool,
+    ranks switches with the configured {!Placement.policy}, and tries
+    them in order until one's allocator admits (spill-over).  Services
+    can later be migrated between switches — their switch memory is
+    drained with the memsync read protocol, the source allocation
+    released, and the state repopulated into the new placement — and a
+    switch failure re-places every resident service the same way. *)
+
+type t
+
+val create :
+  ?policy:Placement.policy ->
+  ?scheme:Allocator.scheme ->
+  ?params:Rmt.Params.t ->
+  ?wire_latency_s:float ->
+  ?memsync_word_budget:int ->
+  ?telemetry:Telemetry.t ->
+  Topology.t ->
+  t
+(** Defaults: [Least_loaded] placement, the allocator's default scheme,
+    [Rmt.Params.default] per switch.
+
+    [memsync_word_budget] (default 4096) bounds how many words per stage
+    migration drains through data-plane memsync packets; larger regions
+    fall back to control-plane (BFRT-style) reads/writes, mirroring how
+    an operator would bulk-transfer via the management network.
+
+    [telemetry] (default {!Telemetry.default}) receives fleet counters
+    ([fleet.admitted], [fleet.rejected], [fleet.spillover],
+    [fleet.migrated], [fleet.lost], [fleet.failures], [fleet.bridged],
+    [fleet.unroutable], per-switch [fleet.sw.<i>.admitted/in/out]),
+    spans ([fleet.place], [fleet.migrate]) and occupancy gauges
+    ([fleet.occupancy], [fleet.sw.<i>.utilization],
+    [fleet.sw.<i>.up]). *)
+
+(** {1 Structure} *)
+
+val n_switches : t -> int
+val topology : t -> Topology.t
+val policy : t -> Placement.policy
+val engine : t -> Engine.t
+val controller : t -> sw:Topology.switch_id -> Controller.t
+val fabric : t -> sw:Topology.switch_id -> Fabric.t
+val is_up : t -> sw:Topology.switch_id -> bool
+
+val loads : t -> Placement.load list
+(** Current per-switch pool snapshot, ascending switch id. *)
+
+(** {1 Clients} *)
+
+val attach_client :
+  t -> client:Fabric.address -> home:Topology.switch_id -> (Fabric.msg -> unit) -> unit
+(** Home a client on an edge switch: its handler attaches to the home
+    fabric and every other fabric learns to bridge traffic for the
+    address toward home.  Client addresses must not collide with switch
+    ids (use addresses >= [n_switches]). *)
+
+val inject : t -> client:Fabric.address -> Fabric.msg -> unit
+(** Send a message from a client into its home switch.
+    @raise Invalid_argument if the client was never attached. *)
+
+(** {1 Placement} *)
+
+val admit :
+  t ->
+  ?client:Fabric.address ->
+  fid:int ->
+  App.t ->
+  (Topology.switch_id, [ `No_capacity ]) result
+(** Place a service: rank the up switches under the fleet policy
+    ([client]'s home anchors [Locality]) and admit at the first switch
+    whose allocator accepts.  On success the service's tables are
+    installed there and its shim is operational.
+    @raise Invalid_argument if the FID is already placed. *)
+
+val depart : t -> fid:int -> bool
+(** Release the service's allocation at its switch; false if unknown. *)
+
+val migrate :
+  t ->
+  fid:int ->
+  dst:Topology.switch_id ->
+  (unit, [ `Unknown_fid | `Switch_down | `Refused | `Lost ]) result
+(** Drain the service's state (memsync within the word budget, control
+    plane beyond it), release it at its current switch, re-admit it at
+    [dst] and repopulate.  [`Refused]: [dst]'s allocator rejected and
+    the service was restored at its source, state intact.  [`Lost]: the
+    source re-admission also failed (its freed space was consumed by
+    elastic expansion) and the service is gone. *)
+
+(** {1 Failure} *)
+
+type failover = {
+  relocated : (int * Topology.switch_id) list;  (** fid, new switch *)
+  lost : int list;  (** fids no surviving switch could hold *)
+}
+
+val fail_switch : t -> sw:Topology.switch_id -> failover
+(** Take the switch down and re-place every resident service on the
+    survivors (state recovered over the management network, i.e. the
+    control plane — the data plane through a dead switch is gone).
+    Idempotent: failing a down switch relocates nothing. *)
+
+val schedule_failure : t -> at:float -> sw:Topology.switch_id -> unit
+(** Inject the failure as a simulation event at absolute time [at]. *)
+
+(** {1 Residency} *)
+
+val residents : t -> (int * Topology.switch_id) list
+(** All placed services as (fid, switch), ascending fid. *)
+
+val switch_of : t -> fid:int -> Topology.switch_id option
+val residents_of : t -> sw:Topology.switch_id -> int list
+
+(** {1 Service state (for tests and tooling)} *)
+
+val read_state : t -> fid:int -> (int * int array) list
+(** The service's switch-memory contents, one (stage, words) per
+    allocated region, ascending stage — drained exactly as migration
+    does (memsync under the budget, control plane over it). *)
+
+val write_state : t -> fid:int -> (int * int array) list -> unit
+(** Repopulate the service's regions positionally: the k-th pair fills
+    the k-th current region (stages in the pairs are informational —
+    a migrated placement uses different stages).  Each region takes
+    [min region_words (Array.length words)] words. *)

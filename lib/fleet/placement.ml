@@ -1,0 +1,38 @@
+type policy = First_fit_switch | Least_loaded | Locality
+
+let policy_to_string = function
+  | First_fit_switch -> "first-fit"
+  | Least_loaded -> "least-loaded"
+  | Locality -> "locality"
+
+let policy_of_string = function
+  | "first-fit" | "first_fit" -> Ok First_fit_switch
+  | "least-loaded" | "least_loaded" -> Ok Least_loaded
+  | "locality" -> Ok Locality
+  | s -> Error (Printf.sprintf "unknown placement policy %S" s)
+
+let all_policies = [ First_fit_switch; Least_loaded; Locality ]
+
+type load = {
+  switch : Topology.switch_id;
+  utilization : float;
+  residents : int;
+  up : bool;
+}
+
+let least_loaded_key l = (l.utilization, l.residents, l.switch)
+
+let order policy ~home loads =
+  let up = List.filter (fun l -> l.up) loads in
+  let ranked =
+    match policy with
+    | First_fit_switch -> List.sort (fun a b -> compare a.switch b.switch) up
+    | Least_loaded ->
+      List.sort (fun a b -> compare (least_loaded_key a) (least_loaded_key b)) up
+    | Locality ->
+      let is_home l = match home with Some h -> l.switch = h | None -> false in
+      let home_first, rest = List.partition is_home up in
+      home_first
+      @ List.sort (fun a b -> compare (least_loaded_key a) (least_loaded_key b)) rest
+  in
+  List.map (fun l -> l.switch) ranked

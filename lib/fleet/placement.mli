@@ -1,0 +1,29 @@
+(** Global placement: which switch should host an arriving service.
+
+    Pure ranking over per-switch pool snapshots.  The fleet tries
+    switches in the returned order and admits at the first whose
+    allocator accepts (spill-over); a service every switch rejects is
+    rejected fleet-wide. *)
+
+type policy =
+  | First_fit_switch  (** lowest switch id first — packs early switches *)
+  | Least_loaded  (** ascending pool utilization, residents, id *)
+  | Locality
+      (** the client's home switch first (when up), then least-loaded —
+          keeps service traffic off inter-switch links when possible *)
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> (policy, string) result
+val all_policies : policy list
+
+type load = {
+  switch : Topology.switch_id;
+  utilization : float;  (** allocated blocks / total blocks *)
+  residents : int;
+  up : bool;
+}
+
+val order : policy -> home:Topology.switch_id option -> load list -> Topology.switch_id list
+(** Switches to try, best first.  Down switches are excluded.  The result
+    depends only on the load values, never on the input ordering: ties
+    break by ascending switch id. *)

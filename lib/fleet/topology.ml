@@ -1,0 +1,88 @@
+type switch_id = int
+
+type t = {
+  n : int;
+  dist : float array array;  (* all-pairs shortest path latency; infinity
+                                when unreachable *)
+  hop : int array array;  (* first hop on a shortest path; -1 when none *)
+  homes : (int, switch_id) Hashtbl.t;
+}
+
+let create ~switches ~links =
+  if switches < 1 then invalid_arg "Topology.create: need at least one switch";
+  let n = switches in
+  let dist = Array.init n (fun i -> Array.init n (fun j -> if i = j then 0.0 else infinity)) in
+  let hop = Array.make_matrix n n (-1) in
+  List.iter
+    (fun (a, b, latency_s) ->
+      if a < 0 || a >= n || b < 0 || b >= n then
+        invalid_arg "Topology.create: link endpoint out of range";
+      if a = b then invalid_arg "Topology.create: self-loop";
+      if latency_s <= 0.0 then invalid_arg "Topology.create: latency must be positive";
+      if latency_s < dist.(a).(b) then begin
+        dist.(a).(b) <- latency_s;
+        dist.(b).(a) <- latency_s;
+        hop.(a).(b) <- b;
+        hop.(b).(a) <- a
+      end)
+    links;
+  (* Floyd-Warshall, carrying the first hop along with the distance. *)
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let via = dist.(i).(k) +. dist.(k).(j) in
+        if via < dist.(i).(j) then begin
+          dist.(i).(j) <- via;
+          hop.(i).(j) <- hop.(i).(k)
+        end
+      done
+    done
+  done;
+  { n; dist; hop; homes = Hashtbl.create 16 }
+
+let pairs n =
+  List.concat (List.init n (fun i -> List.init n (fun j -> (i, j))))
+  |> List.filter (fun (i, j) -> i < j)
+
+let full_mesh ~switches ~latency_s =
+  create ~switches ~links:(List.map (fun (i, j) -> (i, j, latency_s)) (pairs switches))
+
+let line ~switches ~latency_s =
+  create ~switches
+    ~links:(List.init (max 0 (switches - 1)) (fun i -> (i, i + 1, latency_s)))
+
+let star ~switches ~latency_s =
+  create ~switches
+    ~links:(List.init (max 0 (switches - 1)) (fun i -> (0, i + 1, latency_s)))
+
+let switches t = t.n
+
+let check t name i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Topology.%s: switch out of range" name)
+
+let connected t ~src ~dst =
+  check t "connected" src;
+  check t "connected" dst;
+  t.dist.(src).(dst) < infinity
+
+let latency t ~src ~dst =
+  check t "latency" src;
+  check t "latency" dst;
+  let d = t.dist.(src).(dst) in
+  if d = infinity then invalid_arg "Topology.latency: unreachable";
+  d
+
+let next_hop t ~src ~dst =
+  check t "next_hop" src;
+  check t "next_hop" dst;
+  if src = dst || t.hop.(src).(dst) < 0 then None else Some t.hop.(src).(dst)
+
+let home t ~client sw =
+  check t "home" sw;
+  Hashtbl.replace t.homes client sw
+
+let home_of t ~client = Hashtbl.find_opt t.homes client
+
+let clients t =
+  Hashtbl.fold (fun c sw acc -> (c, sw) :: acc) t.homes []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,48 @@
+(** Multi-switch topology: runtime-programmable switches joined by
+    latency-weighted links, with clients homed to edge switches.
+
+    Switches are numbered [0 .. switches - 1].  All-pairs shortest paths
+    (by cumulative link latency) and first hops are computed at
+    construction, so routing queries are O(1).  Client homes let the
+    fleet's {!Placement.Locality} policy and its fabric bridging know
+    which switch a client hangs off. *)
+
+type switch_id = int
+
+type t
+
+val create : switches:int -> links:(switch_id * switch_id * float) list -> t
+(** [links] are bidirectional [(a, b, latency_s)] edges.
+    @raise Invalid_argument on [switches < 1], endpoints out of range,
+    self-loops, or non-positive latencies. *)
+
+val full_mesh : switches:int -> latency_s:float -> t
+(** Every pair of switches joined directly at [latency_s]. *)
+
+val line : switches:int -> latency_s:float -> t
+(** A chain [0 - 1 - ... - n-1], each hop at [latency_s]. *)
+
+val star : switches:int -> latency_s:float -> t
+(** Switch 0 as hub, every other switch a spoke at [latency_s]. *)
+
+val switches : t -> int
+
+val connected : t -> src:switch_id -> dst:switch_id -> bool
+
+val latency : t -> src:switch_id -> dst:switch_id -> float
+(** Shortest-path latency; 0 for [src = dst].
+    @raise Invalid_argument if unreachable or out of range. *)
+
+val next_hop : t -> src:switch_id -> dst:switch_id -> switch_id option
+(** First switch on a shortest [src -> dst] path ([dst] itself when
+    adjacent); [None] when unreachable or [src = dst]. *)
+
+val home : t -> client:int -> switch_id -> unit
+(** Record that [client] (a fabric address) hangs off the given edge
+    switch.  Re-homing replaces the previous entry.
+    @raise Invalid_argument if the switch is out of range. *)
+
+val home_of : t -> client:int -> switch_id option
+
+val clients : t -> (int * switch_id) list
+(** All homed clients, sorted by client address. *)

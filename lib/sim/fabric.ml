@@ -17,6 +17,7 @@ type msg = { src : address; dst : address; payload : payload }
 type t = {
   engine : Engine.t;
   controller : Controller.t;
+  address : address;
   wire_latency_s : float;
   loss_rate : float;
   loss_rng : Stdx.Prng.t;
@@ -27,13 +28,15 @@ type t = {
   tel : Telemetry.t;
 }
 
-let create ?(wire_latency_s = 5.0e-6) ?(loss_rate = 0.0) ?(loss_seed = 4_059)
-    ?(telemetry = Telemetry.default) ~engine ~controller () =
+let create ?(address = switch_address) ?(wire_latency_s = 5.0e-6)
+    ?(loss_rate = 0.0) ?(loss_seed = 4_059) ?(telemetry = Telemetry.default)
+    ~engine ~controller () =
   if loss_rate < 0.0 || loss_rate >= 1.0 then
     invalid_arg "Fabric.create: loss_rate must be in [0, 1)";
   {
     engine;
     controller;
+    address;
     wire_latency_s;
     loss_rate;
     loss_rng = Stdx.Prng.create ~seed:loss_seed;
@@ -46,9 +49,10 @@ let create ?(wire_latency_s = 5.0e-6) ?(loss_rate = 0.0) ?(loss_seed = 4_059)
 
 let engine t = t.engine
 let controller t = t.controller
+let address t = t.address
 
 let attach t addr handler =
-  if addr = switch_address then invalid_arg "Fabric.attach: switch address reserved";
+  if addr = t.address then invalid_arg "Fabric.attach: switch address reserved";
   Hashtbl.replace t.nodes addr handler
 
 let register_fid t ~fid ~owner = Hashtbl.replace t.owners fid owner
@@ -81,7 +85,7 @@ let notify_impacted t fids =
       | None -> ()
       | Some owner ->
         deliver t
-          { src = switch_address; dst = owner; payload = Notify_realloc }
+          { src = t.address; dst = owner; payload = Notify_realloc }
           ~delay:t.wire_latency_s)
     fids
 
@@ -101,14 +105,14 @@ let at_switch t msg =
         | Controller.Committed -> ());
         deliver t
           {
-            src = switch_address;
+            src = t.address;
             dst = msg.src;
             payload = Active provision.Controller.response;
           }
           ~delay:(dt +. t.wire_latency_s)
       | Error (`Rejected _) ->
         deliver t
-          { src = switch_address; dst = msg.src; payload = Alloc_failed }
+          { src = t.address; dst = msg.src; payload = Alloc_failed }
           ~delay:(0.01 +. t.wire_latency_s)
       | Error (`Bad_packet _) -> ())
     | Activermt.Packet.Bare ->
@@ -120,7 +124,7 @@ let at_switch t msg =
         match Controller.regions_packet t.controller ~fid with
         | Some response ->
           deliver t
-            { src = switch_address; dst = msg.src; payload = Active response }
+            { src = t.address; dst = msg.src; payload = Active response }
             ~delay:t.wire_latency_s
         | None -> ()
       end

@@ -13,6 +13,8 @@
 type address = int
 
 val switch_address : address
+(** The default address a fabric's switch answers on (0).  A fleet of
+    fabrics sharing one engine gives each instance its own [?address]. *)
 
 type payload =
   | Active of Activermt.Packet.t
@@ -31,6 +33,7 @@ type msg = { src : address; dst : address; payload : payload }
 type t
 
 val create :
+  ?address:address ->
   ?wire_latency_s:float ->
   ?loss_rate:float ->
   ?loss_seed:int ->
@@ -39,7 +42,11 @@ val create :
   controller:Activermt_control.Controller.t ->
   unit ->
   t
-(** [loss_rate] (default 0) drops that fraction of data-plane deliveries
+(** [address] (default [switch_address]) is the address this instance's
+    switch answers on, so several fabrics — one per switch — can share an
+    engine and bridge traffic between each other's nodes.
+
+    [loss_rate] (default 0) drops that fraction of data-plane deliveries
     (program packets and their replies), deterministically under
     [loss_seed]; control traffic is unaffected.  Exercises the memsync
     retransmission loop.
@@ -51,8 +58,12 @@ val create :
 val engine : t -> Engine.t
 val controller : t -> Activermt_control.Controller.t
 
+val address : t -> address
+(** The address this instance's switch answers on. *)
+
 val attach : t -> address -> (msg -> unit) -> unit
-(** Register a node's receive handler.  The switch address is reserved. *)
+(** Register a node's receive handler.  This fabric's own switch address
+    is reserved. *)
 
 val register_fid : t -> fid:Activermt.Packet.fid -> owner:address -> unit
 

@@ -1,42 +1,136 @@
-type t = { size : int }
+(* Persistent worker domains parked on a condition variable.
+
+   The seed implementation spawned [size - 1] domains on every
+   [parallel_for] call; telemetry pinned a mixed-workload scoring
+   regression on exactly that per-call [Domain.spawn] cost (see
+   docs/TELEMETRY.md).  Workers are now spawned once at [create] and
+   handed (generation, chunk) work items; the chunk partitioning is
+   unchanged, so every index still runs under the same worker slot and
+   callers observe bit-identical results. *)
+
+type job = { f : int -> unit; n : int; chunk : int }
+
+type shared = {
+  m : Mutex.t;
+  work : Condition.t;  (* signalled when a new generation is posted *)
+  done_ : Condition.t;  (* signalled when the last worker finishes *)
+  mutable job : job option;
+  mutable generation : int;
+  mutable remaining : int;  (* workers still running the current job *)
+  mutable quit : bool;
+}
+
+type t = {
+  size : int;
+  shared : shared;  (* unused (but harmless) when [size = 1] *)
+  mutable workers : unit Domain.t list;
+  mutable live : bool;
+}
 
 let default_size () = Domain.recommended_domain_count ()
 
+let run_chunk job w =
+  let lo = (w + 1) * job.chunk in
+  let hi = min job.n (lo + job.chunk) in
+  for i = lo to hi - 1 do
+    job.f i
+  done
+
+(* Worker [w] serves chunk [w + 1] of every posted generation (chunk 0
+   belongs to the caller) until [quit]. *)
+let worker shared w =
+  let seen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock shared.m;
+    while (not shared.quit) && shared.generation = !seen do
+      Condition.wait shared.work shared.m
+    done;
+    if shared.quit then begin
+      Mutex.unlock shared.m;
+      continue := false
+    end
+    else begin
+      seen := shared.generation;
+      let job = Option.get shared.job in
+      Mutex.unlock shared.m;
+      run_chunk job w;
+      Mutex.lock shared.m;
+      shared.remaining <- shared.remaining - 1;
+      if shared.remaining = 0 then Condition.signal shared.done_;
+      Mutex.unlock shared.m
+    end
+  done
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    let shared = t.shared in
+    Mutex.lock shared.m;
+    shared.quit <- true;
+    Condition.broadcast shared.work;
+    Mutex.unlock shared.m;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
 let create ?size () =
   let size = match size with Some n -> max 1 n | None -> default_size () in
-  { size }
+  let shared =
+    {
+      m = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      job = None;
+      generation = 0;
+      remaining = 0;
+      quit = false;
+    }
+  in
+  let t = { size; shared; workers = []; live = size > 1 } in
+  if size > 1 then begin
+    t.workers <- List.init (size - 1) (fun w -> Domain.spawn (fun () -> worker shared w));
+    (* Parked workers would otherwise keep the process from terminating
+       when the owner never calls [shutdown] explicitly. *)
+    at_exit (fun () -> shutdown t)
+  end;
+  t
 
 let size t = t.size
 
-(* Below this many indices per would-be worker a Domain.spawn costs more
+(* Below this many indices per worker the cross-domain hand-off costs more
    than the chunk it would run; fall back to the caller's domain. *)
 let min_chunk = 256
 
 (* Work is split into [size] contiguous chunks; the calling domain takes
-   the first chunk so a pool of size 1 never spawns.  Chunks are disjoint
-   index ranges, so [f] may write to distinct cells of a shared array
-   without synchronization. *)
+   the first chunk so a pool of size 1 never leaves the caller.  Chunks
+   are disjoint index ranges, so [f] may write to distinct cells of a
+   shared array without synchronization. *)
 let parallel_for t ~n ~f =
   if n > 0 then begin
-    if t.size = 1 || n < min_chunk * t.size then
+    if t.size = 1 || (not t.live) || n < min_chunk * t.size then
       for i = 0 to n - 1 do
         f i
       done
     else begin
       let chunk = (n + t.size - 1) / t.size in
-      let run lo hi =
-        for i = lo to hi - 1 do
-          f i
-        done
-      in
-      let workers =
-        List.init (t.size - 1) (fun w ->
-            let lo = (w + 1) * chunk in
-            let hi = min n (lo + chunk) in
-            Domain.spawn (fun () -> run lo hi))
-      in
-      run 0 (min n chunk);
-      List.iter Domain.join workers
+      let job = { f; n; chunk } in
+      let shared = t.shared in
+      Mutex.lock shared.m;
+      shared.job <- Some job;
+      shared.remaining <- t.size - 1;
+      shared.generation <- shared.generation + 1;
+      Condition.broadcast shared.work;
+      Mutex.unlock shared.m;
+      for i = 0 to min n chunk - 1 do
+        f i
+      done;
+      Mutex.lock shared.m;
+      while shared.remaining > 0 do
+        Condition.wait shared.done_ shared.m
+      done;
+      shared.job <- None;
+      Mutex.unlock shared.m
     end
   end
 

@@ -1,12 +1,20 @@
-(** Chunked parallel iteration over OCaml 5 domains.
+(** Chunked parallel iteration over persistent OCaml 5 worker domains.
 
-    A pool is a fan-out width, not live threads: each [parallel_for] call
-    spawns [size - 1] short-lived domains over contiguous index chunks and
-    runs the first chunk on the caller, so a pool of size 1 (the
-    sequential fallback) never spawns and adds no overhead.  Results are
-    deterministic whenever [f] is — chunking fixes which domain runs which
-    index but not any observable order-dependent state, so callers must
-    only write to per-index cells (or otherwise commute). *)
+    [create ~size] spawns [size - 1] worker domains once; they park on a
+    condition variable between calls, so [parallel_for] costs a hand-off,
+    not a [Domain.spawn], per call.  Each call splits [0, n) into [size]
+    contiguous chunks — the caller runs the first, workers the rest — so
+    a pool of size 1 (the sequential fallback) never leaves the calling
+    domain.  The partitioning is identical to the former spawn-per-call
+    implementation: results are bit-identical whenever [f] is
+    deterministic and writes only per-index cells (or otherwise
+    commutes).
+
+    Workers are joined by [shutdown] (idempotent) or, failing that, by an
+    [at_exit] hook registered at [create], so a forgotten pool cannot
+    wedge process exit — though each live pool holds [size - 1] domains
+    against the runtime's limit until then, so shut down pools you create
+    in a loop. *)
 
 type t
 
@@ -15,15 +23,20 @@ val default_size : unit -> int
 
 val create : ?size:int -> unit -> t
 (** [size] defaults to [Domain.recommended_domain_count ()]; values below
-    1 are clamped to 1. *)
+    1 are clamped to 1.  Spawns [size - 1] persistent worker domains. *)
 
 val size : t -> int
 
 val parallel_for : t -> n:int -> f:(int -> unit) -> unit
 (** Apply [f] to every index in [0, n).  [f] runs on the caller when the
-    pool is sequential or [n] is too small to amortize a spawn; otherwise
-    on [size] domains over disjoint chunks.  [f] must be safe to run
-    concurrently with itself on distinct indices. *)
+    pool is sequential, already shut down, or [n] is too small to
+    amortize the hand-off; otherwise on [size] domains over disjoint
+    chunks.  [f] must be safe to run concurrently with itself on
+    distinct indices.  Not reentrant: do not call from within [f]. *)
 
 val map : t -> f:('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] via [parallel_for]. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; afterwards
+    [parallel_for] still works but runs everything on the caller. *)

@@ -5,8 +5,9 @@
     cell update) and safe under [Stdx.Domain_pool] fan-out: every writing
     domain gets its own shard and readers merge all shards, so no write
     ever contends.  Merged totals are exact once the writing domains have
-    been joined — [Domain_pool.parallel_for] joins its workers, so
-    recording inside a fan-out and reading after it returns is exact.
+    synchronized — [Domain_pool.parallel_for] returns only after every
+    worker signals completion under the pool's mutex, so recording inside
+    a fan-out and reading after it returns is exact.
 
     Histograms store no samples: observations land in logarithmic
     buckets (8 per octave) covering ~6e-8 .. ~2e2, so percentiles carry

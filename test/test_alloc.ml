@@ -440,7 +440,13 @@ let prop_parallel_matches_sequential =
             | Allocator.Rejected _ -> ());
             same_outcome o_seq o_par
           end)
-        ops)
+        ops
+      |> fun ok ->
+      (* Workers are persistent now; reap them so repeated trials do not
+         accumulate parked domains against the runtime limit. *)
+      Allocator.shutdown par;
+      Allocator.shutdown seq;
+      ok)
 
 let test_depart_only_touches_demand_stages () =
   (* A pinned app's departure must leave other stages' pools untouched

@@ -265,7 +265,36 @@ let prop_dpool_map_any_size =
     (fun (size, n) ->
       let p = Stdx.Domain_pool.create ~size () in
       let arr = Array.init n (fun i -> i * 3) in
-      Stdx.Domain_pool.map p ~f:(fun x -> x + 1) arr = Array.map (fun x -> x + 1) arr)
+      let ok =
+        Stdx.Domain_pool.map p ~f:(fun x -> x + 1) arr = Array.map (fun x -> x + 1) arr
+      in
+      (* Workers are persistent; reap them so 50 trials do not pile up
+         parked domains against the runtime limit. *)
+      Stdx.Domain_pool.shutdown p;
+      ok)
+
+let test_dpool_shutdown () =
+  let p = Stdx.Domain_pool.create ~size:3 () in
+  let arr = Array.init 2000 Fun.id in
+  Alcotest.(check (array int)) "fan-out works" (Array.map succ arr)
+    (Stdx.Domain_pool.map p ~f:succ arr);
+  Stdx.Domain_pool.shutdown p;
+  Stdx.Domain_pool.shutdown p;
+  (* After shutdown the pool degrades to the sequential path. *)
+  Alcotest.(check (array int)) "sequential after shutdown" (Array.map succ arr)
+    (Stdx.Domain_pool.map p ~f:succ arr)
+
+let test_dpool_reuse_across_calls () =
+  (* The same parked workers serve many generations. *)
+  let p = Stdx.Domain_pool.create ~size:3 () in
+  let n = 1500 in
+  let acc = Array.make n 0 in
+  for _ = 1 to 5 do
+    Stdx.Domain_pool.parallel_for p ~n ~f:(fun i -> acc.(i) <- acc.(i) + 1)
+  done;
+  Stdx.Domain_pool.shutdown p;
+  Alcotest.(check bool) "every index five times" true
+    (Array.for_all (fun h -> h = 5) acc)
 
 (* -- Sharded ------------------------------------------------------------- *)
 
@@ -329,6 +358,8 @@ let () =
           Alcotest.test_case "covers every index once" `Quick test_dpool_coverage;
           Alcotest.test_case "size clamped" `Quick test_dpool_size_clamp;
           Alcotest.test_case "empty input" `Quick test_dpool_empty;
+          Alcotest.test_case "shutdown" `Quick test_dpool_shutdown;
+          Alcotest.test_case "reuse across calls" `Quick test_dpool_reuse_across_calls;
           QCheck_alcotest.to_alcotest prop_dpool_map_any_size;
         ] );
       ( "sharded",
