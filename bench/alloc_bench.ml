@@ -193,7 +193,7 @@ let write_json ~path json =
       | Ok old ->
         List.filter_map
           (fun key -> Option.map (fun v -> (key, v)) (Json.member key old))
-          [ "fleet" ]
+          [ "fleet"; "chaos" ]
       | Error _ -> []
     end
     else []

@@ -118,7 +118,17 @@ let () =
       (fun (key, _) ->
         if not (List.mem_assoc key base_fields) then
           Printf.printf "INFO     new section %S (no baseline counterpart)\n" key)
-      cur_fields
+      cur_fields;
+    (* The mirror image: a baseline section the candidate run silently
+       dropped — usually a bench entry that wasn't selected.  Surface
+       it so the omission is a deliberate choice, not an accident. *)
+    List.iter
+      (fun (key, _) ->
+        if not (List.mem_assoc key cur_fields) then
+          Printf.printf
+            "INFO     baseline section %S missing from candidate (bench entry not run?)\n"
+            key)
+      base_fields
   | _ -> ());
   if !failures > 0 then begin
     Printf.printf "%d regression(s) against %s\n" !failures base_path;

@@ -140,6 +140,11 @@ let experiments =
       run = (fun ~quick -> Fleet_bench.run ~quick);
     };
     {
+      name = "chaos";
+      info = "fault injection: loss x retry-policy sweep (BENCH_alloc.json)";
+      run = (fun ~quick -> Chaos_bench.run ~quick);
+    };
+    {
       name = "fleetscale";
       info = "fleet scaling sweep: switch count x offered load";
       run =

@@ -6,6 +6,7 @@
      mutants  show the mutant space of a program under a policy
      allocsim replay a comma-separated arrival list against the allocator
      fleetsim replay a service workload against a multi-switch fleet
+     faultsim run the protocol stack under a seeded fault profile
      apps     print the bundled example services *)
 
 module Spec = Activermt_compiler.Spec
@@ -209,6 +210,57 @@ and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw metrics_out =
     | None -> 0.0);
   write_metrics metrics_out
 
+and cmd_faultsim services words loss dup corrupt jitter slow_ctl ctl_fail seed
+    no_retries trace metrics_out =
+  let module Chaos = Experiments.Chaos in
+  let module Faults = Netsim.Faults in
+  let profile =
+    {
+      Faults.drop = loss;
+      duplicate = dup;
+      corrupt;
+      jitter_s = jitter;
+      flap_period_s = 0.0;
+      flap_down_s = 0.0;
+      table_update_slowdown = slow_ctl;
+      table_update_fail = ctl_fail;
+    }
+  in
+  let cfg =
+    {
+      Chaos.default_config with
+      Chaos.services;
+      words;
+      seed;
+      retries = not no_retries;
+      profile;
+    }
+  in
+  Printf.printf
+    "faultsim: %d services x %d words, seed %d, retries %s\n\
+     profile: drop %.3f dup %.3f corrupt %.3f jitter %gs ctl x%.1f ctl-fail %.3f\n"
+    services words seed
+    (if no_retries then "off" else "on")
+    loss dup corrupt jitter slow_ctl ctl_fail;
+  let r = Chaos.run cfg in
+  List.iter
+    (fun (fid, o) ->
+      Printf.printf "  fid %-3d %s\n" fid (Chaos.outcome_to_string o))
+    r.Chaos.outcomes;
+  Printf.printf
+    "completion %.3f (%d/%d)  nego attempts %d (retries %d)  sync packets %d \
+     (rtx %d)  fallback words %d\n"
+    r.Chaos.completion r.Chaos.completed services r.Chaos.negotiation_attempts
+    r.Chaos.negotiation_retries r.Chaos.sync_packets r.Chaos.sync_retransmits
+    r.Chaos.fallback_words;
+  Printf.printf "faults injected %d  sim time %.3fs\n" r.Chaos.fault_events
+    r.Chaos.sim_time_s;
+  if trace then
+    List.iter
+      (fun e -> Format.printf "%a@." Faults.pp_event e)
+      (Faults.events r.Chaos.faults);
+  write_metrics metrics_out
+
 and cmd_trace path args_str privileged metrics_out =
   let program = read_program path in
   let spec = Spec.analyze program in
@@ -398,6 +450,67 @@ let fleetsim_cmd =
       const cmd_fleetsim $ switches_arg $ topo_arg $ policy_arg $ arrivals_arg
       $ seed_arg $ fail_arg $ metrics_out_arg)
 
+let faultsim_cmd =
+  let prob name doc =
+    Arg.value (Arg.opt Arg.float 0.0 (Arg.info [ name ] ~docv:"P" ~doc))
+  in
+  let services_arg =
+    Arg.value
+      (Arg.opt positive_int 16
+         (Arg.info [ "services" ] ~docv:"N" ~doc:"Concurrent service clients."))
+  in
+  let words_arg =
+    Arg.value
+      (Arg.opt positive_int 48
+         (Arg.info [ "words" ] ~docv:"N" ~doc:"State words each service writes."))
+  in
+  let loss_arg =
+    Arg.value
+      (Arg.opt Arg.float 0.01
+         (Arg.info [ "loss" ] ~docv:"P" ~doc:"Per-hop packet drop probability."))
+  in
+  let dup_arg = prob "dup" "Packet duplication probability." in
+  let corrupt_arg =
+    prob "corrupt" "Byte-corruption probability (rejected by the wire checksum)."
+  in
+  let jitter_arg =
+    Arg.value
+      (Arg.opt Arg.float 0.0
+         (Arg.info [ "jitter" ] ~docv:"SECONDS"
+            ~doc:"Extra per-delivery delay, uniform in [0,$(docv)) — reorders."))
+  in
+  let slow_ctl_arg =
+    Arg.value
+      (Arg.opt Arg.float 1.0
+         (Arg.info [ "slow-ctl" ] ~docv:"FACTOR"
+            ~doc:"Slow control-plane table updates by $(docv) (>= 1)."))
+  in
+  let ctl_fail_arg =
+    prob "ctl-fail" "Probability a provisioning response is lost after commit."
+  in
+  let seed_arg =
+    Arg.value (Arg.opt Arg.int 0xC4A05 (Arg.info [ "seed" ] ~docv:"SEED"))
+  in
+  let no_retries_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "no-retries" ]
+          ~doc:"Fire every packet exactly once (the baseline the recovery \
+                machinery is measured against).")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the fault-event trace.")
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:"run the allocation + memsync protocol stack under a seeded fault \
+             profile")
+    Term.(
+      const cmd_faultsim $ services_arg $ words_arg $ loss_arg $ dup_arg
+      $ corrupt_arg $ jitter_arg $ slow_ctl_arg $ ctl_fail_arg $ seed_arg
+      $ no_retries_arg $ trace_arg $ metrics_out_arg)
+
 let trace_cmd =
   let args_arg =
     Arg.(value & opt (some string) None & info [ "args" ] ~docv:"a0,a1,a2,a3")
@@ -419,5 +532,5 @@ let p4gen_cmd =
 let () =
   let info = Cmd.info "activermt" ~doc:"ActiveRMT tools (SIGCOMM 2023 reproduction)" in
   exit (Cmd.eval (Cmd.group info
-       [ asm_cmd; disasm_cmd; mutants_cmd; allocsim_cmd; fleetsim_cmd; trace_cmd;
-         apps_cmd; p4gen_cmd ]))
+       [ asm_cmd; disasm_cmd; mutants_cmd; allocsim_cmd; fleetsim_cmd;
+         faultsim_cmd; trace_cmd; apps_cmd; p4gen_cmd ]))

@@ -2,13 +2,25 @@ module Memsync = Activermt_apps.Memsync
 
 type op = Read | Write of (int -> int list)
 
-type slot = { mutable acked : bool; mutable last_sent : float; mutable seq : int }
+type slot = {
+  mutable acked : bool;
+  mutable last_sent : float;
+  mutable seq : int;
+  mutable tries : int;
+  mutable cur_timeout_s : float;  (* nominal (un-jittered) timeout *)
+  mutable armed_timeout_s : float;  (* jittered timeout armed at transmit *)
+}
 
 type t = {
   fid : Activermt.Packet.fid;
   stages : int list;
   count : int;
   timeout_s : float;
+  multiplier : float;
+  max_timeout_s : float;
+  jitter : float;
+  max_attempts : int;  (* 0 = unbounded (legacy behavior) *)
+  rng : Stdx.Prng.t;
   op : op;
   program : Activermt.Program.t;
   slots : slot array;
@@ -20,9 +32,19 @@ type t = {
 
 let vflags = { Activermt.Packet.no_flags with virtual_addressing = true }
 
-let create ~fid ~stages ~count ~timeout_s op =
+let create ?(multiplier = 1.0) ?max_timeout_s ?(jitter = 0.0) ?(max_attempts = 0)
+    ?(seed = 0x315d) ~fid ~stages ~count ~timeout_s op =
   if count <= 0 then invalid_arg "Memsync_driver.create: count must be positive";
   if timeout_s <= 0.0 then invalid_arg "Memsync_driver.create: timeout must be positive";
+  if multiplier < 1.0 then
+    invalid_arg "Memsync_driver.create: multiplier must be >= 1";
+  if jitter < 0.0 || jitter >= 1.0 then
+    invalid_arg "Memsync_driver.create: jitter must be in [0, 1)";
+  if max_attempts < 0 then
+    invalid_arg "Memsync_driver.create: max_attempts must be >= 0";
+  let max_timeout_s = Option.value max_timeout_s ~default:(16.0 *. timeout_s) in
+  if max_timeout_s < timeout_s then
+    invalid_arg "Memsync_driver.create: max_timeout_s must be >= timeout_s";
   let program =
     match op with
     | Read -> Memsync.read_program ~stages
@@ -33,9 +55,23 @@ let create ~fid ~stages ~count ~timeout_s op =
     stages;
     count;
     timeout_s;
+    multiplier;
+    max_timeout_s;
+    jitter;
+    max_attempts;
+    rng = Stdx.Prng.create ~seed:(seed lxor (fid * 0x9E3779B1));
     op;
     program;
-    slots = Array.init count (fun _ -> { acked = false; last_sent = neg_infinity; seq = -1 });
+    slots =
+      Array.init count (fun _ ->
+          {
+            acked = false;
+            last_sent = neg_infinity;
+            seq = -1;
+            tries = 0;
+            cur_timeout_s = timeout_s;
+            armed_timeout_s = timeout_s;
+          });
     seq_to_index = Hashtbl.create (2 * count);
     results = Array.make_matrix (List.length stages) count 0;
     next_seq = 1;
@@ -47,6 +83,19 @@ let outstanding t =
 
 let is_done t = outstanding t = 0
 
+let slot_exhausted t s =
+  (not s.acked) && t.max_attempts > 0 && s.tries >= t.max_attempts
+
+let exhausted t =
+  Array.fold_left (fun acc s -> if slot_exhausted t s then acc + 1 else acc) 0 t.slots
+
+let unacked t =
+  let acc = ref [] in
+  for index = t.count - 1 downto 0 do
+    if not t.slots.(index).acked then acc := index :: !acc
+  done;
+  !acc
+
 let packet_for t ~seq ~index =
   let args =
     match t.op with
@@ -55,12 +104,24 @@ let packet_for t ~seq ~index =
   in
   Activermt.Packet.exec ~flags:vflags ~fid:t.fid ~seq ~args t.program
 
+(* Jitter is multiplicative and symmetric; with the default jitter = 0
+   this is the identity, keeping the legacy fixed-timeout stream (and
+   therefore all existing simulations) bit-identical. *)
+let jittered t dt =
+  if t.jitter <= 0.0 then dt
+  else dt *. (1.0 +. (t.jitter *. ((2.0 *. Stdx.Prng.float t.rng 1.0) -. 1.0)))
+
 let transmit t ~now ~send index =
   let slot = t.slots.(index) in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   slot.seq <- seq;
   slot.last_sent <- now;
+  if slot.tries > 0 then
+    slot.cur_timeout_s <-
+      Float.min (slot.cur_timeout_s *. t.multiplier) t.max_timeout_s;
+  slot.armed_timeout_s <- jittered t slot.cur_timeout_s;
+  slot.tries <- slot.tries + 1;
   t.sent <- t.sent + 1;
   Hashtbl.replace t.seq_to_index seq index;
   send ~seq (packet_for t ~seq ~index)
@@ -93,7 +154,11 @@ let tick t ~now ~send =
   let resent = ref 0 in
   for index = 0 to t.count - 1 do
     let slot = t.slots.(index) in
-    if (not slot.acked) && now -. slot.last_sent >= t.timeout_s then begin
+    if
+      (not slot.acked)
+      && (not (slot_exhausted t slot))
+      && now -. slot.last_sent >= slot.armed_timeout_s
+    then begin
       transmit t ~now ~send index;
       incr resent
     end

@@ -15,6 +15,11 @@ type op = Read | Write of (int -> int list)
 type t
 
 val create :
+  ?multiplier:float ->
+  ?max_timeout_s:float ->
+  ?jitter:float ->
+  ?max_attempts:int ->
+  ?seed:int ->
   fid:Activermt.Packet.fid ->
   stages:int list ->
   count:int ->
@@ -22,10 +27,33 @@ val create :
   op ->
   t
 (** Synchronize indices [0, count) of the given stages (at most 3,
-    ascending, >= 2 apart — memsync packet geometry). *)
+    ascending, >= 2 apart — memsync packet geometry).
+
+    Retransmission policy (all optional; the defaults reproduce the
+    original fixed-timeout driver exactly, including its float
+    comparisons, so existing simulations are bit-identical):
+    - [multiplier] (default 1): per-retry exponential growth of the
+      slot's timeout, capped at [max_timeout_s] (default
+      [16 * timeout_s]);
+    - [jitter] (default 0): symmetric fraction in [0, 1) scaling each
+      armed timeout by a factor in [1-jitter, 1+jitter], drawn from a
+      PRNG seeded by [seed] mixed with [fid];
+    - [max_attempts] (default 0 = unbounded): per-index transmission
+      budget; an index that spends it stops retransmitting and counts as
+      {!exhausted}.
+    @raise Invalid_argument on out-of-range parameters. *)
 
 val outstanding : t -> int
 (** Indices not yet acknowledged. *)
+
+val exhausted : t -> int
+(** Indices that are unacknowledged *and* out of retry budget — the
+    driver will never retransmit them; the caller should fall back
+    (e.g. to a control-plane write) for exactly {!unacked}'s survivors.
+    Always 0 when [max_attempts] is unbounded. *)
+
+val unacked : t -> int list
+(** Unacknowledged indices, ascending — for targeted fallback. *)
 
 val is_done : t -> bool
 

@@ -204,6 +204,25 @@ let handle_request t (pkt : Activermt.Packet.t) =
   match pkt.Activermt.Packet.payload with
   | Activermt.Packet.Response _ | Activermt.Packet.Exec _ | Activermt.Packet.Bare ->
     Error (`Bad_packet "not an allocation request")
+  | Activermt.Packet.Request _ when Allocator.is_resident t.allocator ~fid:pkt.Activermt.Packet.fid ->
+    (* Idempotent re-request (dedup by FID): the response to an earlier
+       request was lost in flight, or the request itself was duplicated
+       by the network.  Answer from the existing allocation — never
+       allocate twice for one FID.  Not charged to the provisioning log:
+       no allocator or table work happened. *)
+    let fid = pkt.Activermt.Packet.fid in
+    Telemetry.incr t.tel "control.dup_requests";
+    Ok
+      {
+        fid;
+        response =
+          response_packet t ~fid ~flags:pkt.Activermt.Packet.flags ~granted:true;
+        reallocated = [];
+        phase = Committed;
+        timing =
+          Cost_model.breakdown t.cost ~allocation_s:0.0 ~entries_updated:0
+            ~apps_touched:0 ~words_snapshotted:0 ~notifications:1;
+      }
   | Activermt.Packet.Request req ->
     let fid = pkt.Activermt.Packet.fid in
     let flags = pkt.Activermt.Packet.flags in

@@ -62,7 +62,12 @@ val handle_request :
 (** Process one allocation-request packet (admission is serialized; this
     is the digest path).  On success the new app's tables are installed
     (its region zeroed) and, depending on mode, reallocated apps are
-    either migrated immediately or left awaiting extraction. *)
+    either migrated immediately or left awaiting extraction.
+
+    Idempotent per FID: a request for an already-resident FID (a network
+    duplicate, or a client retry after its response was lost) is answered
+    from the existing allocation — [reallocated = []], zero-work timing,
+    counted under [control.dup_requests] — never allocated twice. *)
 
 val handle_departure : t -> fid:Activermt.Packet.fid -> Cost_model.breakdown * Activermt.Packet.fid list
 (** Release a service's allocation; returns timing and the apps expanded

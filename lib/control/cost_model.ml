@@ -18,6 +18,14 @@ let default =
 let p4_compile_s = 28.79
 let p4_reprovision_blackout_s = 0.05
 
+let degrade t ~slowdown =
+  if slowdown < 1.0 then invalid_arg "Cost_model.degrade: slowdown must be >= 1";
+  {
+    t with
+    table_entry_update_s = t.table_entry_update_s *. slowdown;
+    app_install_s = t.app_install_s *. slowdown;
+  }
+
 type breakdown = {
   allocation_s : float;
   table_update_s : float;

@@ -28,6 +28,13 @@ val p4_compile_s : float
 val p4_reprovision_blackout_s : float
 (** Traffic blackout of a conventional P4 re-provision, O(50 ms) [5]. *)
 
+val degrade : t -> slowdown:float -> t
+(** A cost model whose control-plane table work ([table_entry_update_s],
+    [app_install_s]) runs [slowdown] times slower — the fault simulator's
+    "slow table updates" knob (a congested or flaky BFRT session).
+    Snapshot/notify costs are unchanged.
+    @raise Invalid_argument if [slowdown < 1]. *)
+
 type breakdown = {
   allocation_s : float;  (** measured compute time *)
   table_update_s : float;

@@ -192,6 +192,49 @@ let encode_program (p : Program.t) =
   Bytes.set_uint8 b ((2 * n) + 1) flag;
   b
 
+(* 16-bit one's-complement sum (RFC 1071 style) over the capsule bytes.
+   Any single-byte corruption changes the sum: a byte delta d contributes
+   d or 256*d to the word sum, both nonzero modulo 0xffff for d in
+   [-255, 255] \ {0}, so a flipped byte is always caught. *)
+let checksum b =
+  let n = Bytes.length b in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + (Bytes.get_uint8 b !i lsl 8) + Bytes.get_uint8 b (!i + 1);
+    i := !i + 2
+  done;
+  if n land 1 = 1 then sum := !sum + (Bytes.get_uint8 b (n - 1) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let frame b =
+  let n = Bytes.length b in
+  let framed = Bytes.create (n + 2) in
+  Bytes.blit b 0 framed 0 n;
+  let c = checksum b in
+  Bytes.set_uint8 framed n (c lsr 8);
+  Bytes.set_uint8 framed (n + 1) (c land 0xff);
+  framed
+
+let unframe framed =
+  let n = Bytes.length framed in
+  if n < 2 then Error "short frame: no checksum trailer"
+  else begin
+    let payload = Bytes.sub framed 0 (n - 2) in
+    let stored =
+      (Bytes.get_uint8 framed (n - 2) lsl 8) lor Bytes.get_uint8 framed (n - 1)
+    in
+    let computed = checksum payload in
+    if stored = computed then Ok payload
+    else
+      Error
+        (Printf.sprintf "checksum mismatch: stored 0x%04x, computed 0x%04x"
+           stored computed)
+  end
+
 let decode_program ?(name = "wire") b ~off =
   let len = Bytes.length b in
   let rec go off acc =

@@ -22,3 +22,21 @@ val decode_program :
 (** Decode headers starting at [off] up to and including EOF.  Returns the
     program (EOF stripped), the per-line executed marks, and the offset
     one past the EOF header. *)
+
+(** {2 Capsule framing}
+
+    A capsule on the wire carries a 16-bit one's-complement checksum
+    trailer so corrupted capsules are rejected at the parser instead of
+    executing garbage.  The sum detects every single-byte error (see the
+    implementation note), so the fault simulator's bit-flips always
+    surface as a clean rejection — corruption behaves like loss and the
+    client's retransmission logic recovers. *)
+
+val checksum : Bytes.t -> int
+(** RFC 1071-style 16-bit one's-complement sum of the bytes. *)
+
+val frame : Bytes.t -> Bytes.t
+(** Append the 2-byte checksum trailer. *)
+
+val unframe : Bytes.t -> (Bytes.t, string) result
+(** Verify and strip the trailer; [Error] describes the mismatch. *)

@@ -6,6 +6,7 @@ type node = {
   sw : Topology.switch_id;
   controller : Controller.t;
   fabric : Fabric.t;
+  faults : Faults.t option;
 }
 
 type t = {
@@ -62,22 +63,44 @@ let route t ~from msg =
       end)
 
 let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.default)
-    ?wire_latency_s ?(memsync_word_budget = 4096) ?(telemetry = Telemetry.default)
-    topo =
+    ?wire_latency_s ?(memsync_word_budget = 4096) ?faults
+    ?(faults_seed = 0xF1EE7) ?(telemetry = Telemetry.default) topo =
   if memsync_word_budget < 0 then
     invalid_arg "Fleet.create: memsync_word_budget must be non-negative";
+  let faults =
+    match faults with
+    | Some p when not (Faults.is_none p) -> Some p
+    | Some _ | None -> None
+  in
   let n = Topology.switches topo in
   let engine = Engine.create ~telemetry () in
   let nodes =
     Array.init n (fun sw ->
         let device = Rmt.Device.create params in
+        (* Every switch draws from its own PRNG stream so adding a switch
+           doesn't shift another's fault schedule. *)
+        let node_faults =
+          Option.map
+            (fun p ->
+              Faults.create ~seed:(faults_seed + (sw * 7919)) ~telemetry p)
+            faults
+        in
+        let cost =
+          Option.bind faults (fun p ->
+              if p.Faults.table_update_slowdown > 1.0 then
+                Some
+                  (Cost_model.degrade Cost_model.default
+                     ~slowdown:p.Faults.table_update_slowdown)
+              else None)
+        in
         let controller =
-          Controller.create ?scheme ~mode:`Auto ~telemetry:telemetry device
+          Controller.create ?scheme ?cost ~mode:`Auto ~telemetry:telemetry device
         in
         let fabric =
-          Fabric.create ~address:sw ?wire_latency_s ~telemetry ~engine ~controller ()
+          Fabric.create ~address:sw ?wire_latency_s ?faults:node_faults
+            ~telemetry ~engine ~controller ()
         in
-        { sw; controller; fabric })
+        { sw; controller; fabric; faults = node_faults })
   in
   let t =
     {
@@ -219,10 +242,16 @@ let depart t ~fid =
     true
 
 (* Run a memsync driver to completion directly against a switch's
-   tables: loss-free, so one [start] pass answers every index. *)
+   tables.  Without faults this is loss-free, so one [start] pass
+   answers every index.  With faults each capsule (request and its RTS
+   reply, collapsed into one per-delivery decision) may be lost,
+   checksum-rejected or duplicated; the driver's timeout/retry loop
+   recovers under a synthetic clock, bounded by its per-index attempt
+   budget plus a round cap, and the caller falls back to the control
+   plane for whatever never got through. *)
 let run_memsync node driver =
   let tables = Controller.tables node.controller in
-  let send ~seq pkt =
+  let exec ~seq pkt =
     let meta = Runtime.meta ~src:1 ~dst:0 () in
     let r = Runtime.run tables ~meta pkt in
     match r.Runtime.decision with
@@ -230,8 +259,33 @@ let run_memsync node driver =
       ignore (Memsync_driver.on_reply driver ~seq ~args:r.Runtime.args_out)
     | Runtime.Forward _ | Runtime.Dropped _ -> ()
   in
-  Memsync_driver.start driver ~now:0.0 ~send;
+  (match node.faults with
+  | None -> Memsync_driver.start driver ~now:0.0 ~send:exec
+  | Some f ->
+    let clock = ref 0.0 in
+    let send ~seq pkt =
+      let v = Faults.plan f ~now:!clock in
+      if not (v.Faults.lose || v.Faults.corrupt) then
+        for _ = 1 to v.Faults.copies do
+          exec ~seq pkt
+        done
+    in
+    Memsync_driver.start driver ~now:!clock ~send;
+    let rounds = ref 0 in
+    let stalled = ref false in
+    while (not (Memsync_driver.is_done driver)) && (not !stalled) && !rounds < 64
+    do
+      incr rounds;
+      clock := !clock +. 2.0;
+      if Memsync_driver.tick driver ~now:!clock ~send = 0 then
+        (* Every unacked index is out of retry budget. *)
+        stalled := Memsync_driver.outstanding driver > 0
+    done);
   Memsync_driver.is_done driver
+
+let make_driver node ~fid ~stages ~count op =
+  let max_attempts = match node.faults with None -> 0 | Some _ -> 16 in
+  Memsync_driver.create ~max_attempts ~fid ~stages ~count ~timeout_s:1.0 op
 
 let words_per_block node =
   Rmt.Params.words_per_block (Rmt.Device.params (Controller.device node.controller))
@@ -256,14 +310,28 @@ let extract_state t node ~fid ~data_plane =
         let words =
           if data_plane && n_words <= t.memsync_word_budget then begin
             let driver =
-              Memsync_driver.create ~fid ~stages:[ stage ] ~count:n_words
-                ~timeout_s:1.0 Memsync_driver.Read
+              make_driver node ~fid ~stages:[ stage ] ~count:n_words
+                Memsync_driver.Read
             in
             if run_memsync node driver then begin
               Telemetry.incr t.tel "fleet.memsync.words_read" ~by:n_words;
               (Memsync_driver.values driver).(0)
             end
-            else control_plane ()
+            else begin
+              (* Partial data-plane read: keep what got through, fill
+                 the gaps from the control plane. *)
+              let survivors = Memsync_driver.unacked driver in
+              Telemetry.incr t.tel "fleet.memsync.words_read"
+                ~by:(n_words - List.length survivors);
+              Telemetry.incr t.tel "fleet.memsync.fallback_words"
+                ~by:(List.length survivors);
+              let words = Array.copy (Memsync_driver.values driver).(0) in
+              let cp = control_plane () in
+              List.iter
+                (fun i -> if i < Array.length cp then words.(i) <- cp.(i))
+                survivors;
+              words
+            end
           end
           else control_plane ()
         in
@@ -288,17 +356,26 @@ let inject_state t node ~fid state =
           if count > 0 then
             if count <= t.memsync_word_budget then begin
               let driver =
-                Memsync_driver.create ~fid ~stages:[ stage ] ~count ~timeout_s:1.0
+                make_driver node ~fid ~stages:[ stage ] ~count
                   (Memsync_driver.Write (fun i -> [ words.(i) ]))
               in
               if run_memsync node driver then
                 Telemetry.incr t.tel "fleet.memsync.words_written" ~by:count
-              else
-                for i = 0 to count - 1 do
-                  ignore
-                    (Controller.write_region_word node.controller ~fid ~stage
-                       ~index:i ~value:words.(i))
-                done
+              else begin
+                (* Writes are idempotent, so only the indices that never
+                   got through need the control-plane fallback. *)
+                let survivors = Memsync_driver.unacked driver in
+                Telemetry.incr t.tel "fleet.memsync.words_written"
+                  ~by:(count - List.length survivors);
+                Telemetry.incr t.tel "fleet.memsync.fallback_words"
+                  ~by:(List.length survivors);
+                List.iter
+                  (fun i ->
+                    ignore
+                      (Controller.write_region_word node.controller ~fid ~stage
+                         ~index:i ~value:words.(i)))
+                  survivors
+              end
             end
             else
               for i = 0 to count - 1 do

@@ -28,6 +28,8 @@ val create :
   ?params:Rmt.Params.t ->
   ?wire_latency_s:float ->
   ?memsync_word_budget:int ->
+  ?faults:Netsim.Faults.profile ->
+  ?faults_seed:int ->
   ?telemetry:Telemetry.t ->
   Topology.t ->
   t
@@ -38,6 +40,20 @@ val create :
     migration drains through data-plane memsync packets; larger regions
     fall back to control-plane (BFRT-style) reads/writes, mirroring how
     an operator would bulk-transfer via the management network.
+
+    [faults] (default none) applies the fault profile to every switch:
+    each node gets its own {!Netsim.Faults} instance (decorrelated
+    per-switch PRNG streams derived from [faults_seed], default
+    [0xF1EE7]) wired into its fabric, and — when the profile slows table
+    updates — a correspondingly degraded cost model.  Migration's
+    memsync drain/repopulate then runs under loss: drivers get a
+    16-attempt budget with timeouts, and indices that exhaust it fall
+    back to control-plane reads/writes
+    ([fleet.memsync.fallback_words]), so a service is never lost or
+    double-placed to capsule loss alone.  Passing a profile for which
+    [Faults.is_none] holds is exactly equivalent to omitting it
+    (bit-identical runs).  A node's handle is reachable via
+    [Netsim.Fabric.faults (Fleet.fabric t ~sw)].
 
     [telemetry] (default {!Telemetry.default}) receives fleet counters
     ([fleet.admitted], [fleet.rejected], [fleet.spillover],

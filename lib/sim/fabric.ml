@@ -21,6 +21,7 @@ type t = {
   wire_latency_s : float;
   loss_rate : float;
   loss_rng : Stdx.Prng.t;
+  faults : Faults.t option;
   nodes : (address, msg -> unit) Hashtbl.t;
   owners : (Activermt.Packet.fid, address) Hashtbl.t;
   mutable drops : int;
@@ -29,10 +30,17 @@ type t = {
 }
 
 let create ?(address = switch_address) ?(wire_latency_s = 5.0e-6)
-    ?(loss_rate = 0.0) ?(loss_seed = 4_059) ?(telemetry = Telemetry.default)
-    ~engine ~controller () =
+    ?(loss_rate = 0.0) ?(loss_seed = 4_059) ?faults
+    ?(telemetry = Telemetry.default) ~engine ~controller () =
   if loss_rate < 0.0 || loss_rate >= 1.0 then
     invalid_arg "Fabric.create: loss_rate must be in [0, 1)";
+  (* A faults handle with an all-off profile is the same as no handle:
+     take the legacy (zero-cost, bit-identical) paths. *)
+  let faults =
+    match faults with
+    | Some f when Faults.is_none (Faults.profile f) -> None
+    | other -> other
+  in
   {
     engine;
     controller;
@@ -40,6 +48,7 @@ let create ?(address = switch_address) ?(wire_latency_s = 5.0e-6)
     wire_latency_s;
     loss_rate;
     loss_rng = Stdx.Prng.create ~seed:loss_seed;
+    faults;
     nodes = Hashtbl.create 16;
     owners = Hashtbl.create 16;
     drops = 0;
@@ -50,6 +59,7 @@ let create ?(address = switch_address) ?(wire_latency_s = 5.0e-6)
 let engine t = t.engine
 let controller t = t.controller
 let address t = t.address
+let faults t = t.faults
 
 let attach t addr handler =
   if addr = t.address then invalid_arg "Fabric.attach: switch address reserved";
@@ -64,19 +74,63 @@ let lossy t msg =
     t.loss_rate > 0.0 && Stdx.Prng.float t.loss_rng 1.0 < t.loss_rate
   | Active _ | Kv_request _ | Kv_reply _ | Alloc_failed | Notify_realloc -> false
 
-let deliver t msg ~delay =
-  if lossy t msg then begin
-    t.lost <- t.lost + 1;
-    Telemetry.incr t.tel "sim.packets.lost"
+let count_lost t =
+  t.lost <- t.lost + 1;
+  Telemetry.incr t.tel "sim.packets.lost"
+
+(* Corruption damages the capsule's on-the-wire bytes; the receiving
+   parser verifies the frame checksum and discards on mismatch.  A
+   single-byte flip is always caught (see Wire.checksum), so the effect
+   is loss — but it goes through the real encode/verify path and is
+   accounted separately.  Non-capsule payloads have no frame to damage;
+   a corrupted one is simply unparseable, i.e. lost. *)
+let corruption_rejected t f msg =
+  let rejected =
+    match msg.payload with
+    | Active pkt -> (
+      let framed = Activermt.Wire.frame (Activermt.Packet.encode pkt) in
+      match Activermt.Wire.unframe (Faults.corrupt_bytes f framed) with
+      | Error _ -> true
+      | Ok _ -> false)
+    | Kv_request _ | Kv_reply _ | Alloc_failed | Notify_realloc -> true
+  in
+  if rejected then Telemetry.incr t.tel "faults.rejected.checksum";
+  rejected
+
+(* One network hop under the fault model: decide the delivery's fate,
+   then schedule the surviving copies (each with its own jitter, so
+   duplicates and back-to-back sends can reorder). *)
+let faulty_hop t f ~delay thunk =
+  let now = Engine.now t.engine in
+  let v = Faults.plan f ~now in
+  if v.Faults.lose then `Lost
+  else if v.Faults.corrupt then `Corrupted
+  else begin
+    for _ = 1 to v.Faults.copies do
+      Engine.schedule t.engine ~delay:(delay +. Faults.jitter f) thunk
+    done;
+    `Scheduled
   end
-  else
-    Engine.schedule t.engine ~delay (fun () ->
-        match Hashtbl.find_opt t.nodes msg.dst with
-        | Some handler ->
-          Telemetry.incr t.tel "sim.packets.delivered";
-          Telemetry.incr t.tel (Printf.sprintf "sim.node.%d.rx" msg.dst);
-          handler msg
-        | None -> ())
+
+let deliver t msg ~delay =
+  if lossy t msg then count_lost t
+  else begin
+    let handle () =
+      match Hashtbl.find_opt t.nodes msg.dst with
+      | Some handler ->
+        Telemetry.incr t.tel "sim.packets.delivered";
+        Telemetry.incr t.tel (Printf.sprintf "sim.node.%d.rx" msg.dst);
+        handler msg
+      | None -> ()
+    in
+    match t.faults with
+    | None -> Engine.schedule t.engine ~delay handle
+    | Some f -> (
+      match faulty_hop t f ~delay handle with
+      | `Scheduled -> ()
+      | `Lost -> count_lost t
+      | `Corrupted -> if corruption_rejected t f msg then count_lost t)
+  end
 
 let notify_impacted t fids =
   List.iter
@@ -100,16 +154,30 @@ let at_switch t msg =
       match Controller.handle_request t.controller pkt with
       | Ok provision ->
         let dt = Activermt_control.Cost_model.total provision.Controller.timing in
+        let dt =
+          match t.faults with
+          | Some f -> Faults.scale_table_update f dt
+          | None -> dt
+        in
         (match provision.Controller.phase with
         | Controller.Awaiting_extraction { impacted } -> notify_impacted t impacted
         | Controller.Committed -> ());
-        deliver t
-          {
-            src = t.address;
-            dst = msg.src;
-            payload = Active provision.Controller.response;
-          }
-          ~delay:(dt +. t.wire_latency_s)
+        (* A failed table-update RPC loses the response after the
+           controller committed; the client's timed-out re-request is
+           answered idempotently from the existing allocation. *)
+        let response_failed =
+          match t.faults with
+          | Some f -> Faults.control_failure f ~now:(Engine.now t.engine)
+          | None -> false
+        in
+        if not response_failed then
+          deliver t
+            {
+              src = t.address;
+              dst = msg.src;
+              payload = Active provision.Controller.response;
+            }
+            ~delay:(dt +. t.wire_latency_s)
       | Error (`Rejected _) ->
         deliver t
           { src = t.address; dst = msg.src; payload = Alloc_failed }
@@ -181,14 +249,18 @@ let at_switch t msg =
       end)
 
 let send t msg =
-  if lossy t msg then begin
-    t.lost <- t.lost + 1;
-    Telemetry.incr t.tel "sim.packets.lost"
-  end
+  if lossy t msg then count_lost t
   else begin
     Telemetry.incr t.tel "sim.packets.sent";
     Telemetry.incr t.tel (Printf.sprintf "sim.node.%d.tx" msg.src);
-    Engine.schedule t.engine ~delay:t.wire_latency_s (fun () -> at_switch t msg)
+    let hop () = at_switch t msg in
+    match t.faults with
+    | None -> Engine.schedule t.engine ~delay:t.wire_latency_s hop
+    | Some f -> (
+      match faulty_hop t f ~delay:t.wire_latency_s hop with
+      | `Scheduled -> ()
+      | `Lost -> count_lost t
+      | `Corrupted -> if corruption_rejected t f msg then count_lost t)
   end
 
 let stats_drops t = t.drops

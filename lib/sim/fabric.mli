@@ -37,6 +37,7 @@ val create :
   ?wire_latency_s:float ->
   ?loss_rate:float ->
   ?loss_seed:int ->
+  ?faults:Faults.t ->
   ?telemetry:Activermt_telemetry.Telemetry.t ->
   engine:Engine.t ->
   controller:Activermt_control.Controller.t ->
@@ -51,12 +52,24 @@ val create :
     [loss_seed]; control traffic is unaffected.  Exercises the memsync
     retransmission loop.
 
+    [faults] (default none) attaches a seeded {!Faults} model to every
+    hop through this fabric — client-to-switch and switch-to-node alike,
+    control traffic included: probabilistic drop, duplication, jitter
+    (reordering), byte corruption (rejected by the wire checksum and
+    counted under [faults.rejected.checksum]), link flaps, and slow or
+    failed provisioning responses.  A handle whose profile
+    {!Faults.is_none} is ignored entirely: the fabric then takes the
+    same code paths as a fault-free build, bit for bit.
+
     [telemetry] (default [Telemetry.default]) counts fabric traffic:
     [sim.packets.sent/delivered/lost/dropped] plus per-node
     [sim.node.<addr>.tx]/[sim.node.<addr>.rx]. *)
 
 val engine : t -> Engine.t
 val controller : t -> Activermt_control.Controller.t
+
+val faults : t -> Faults.t option
+(** The fault model attached at creation, if any (and not all-off). *)
 
 val address : t -> address
 (** The address this instance's switch answers on. *)
