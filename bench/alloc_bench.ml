@@ -18,6 +18,7 @@ module Allocator = Activermt_alloc.Allocator
 module App = Activermt_apps.App
 module Stats = Stdx.Stats
 module Telemetry = Activermt_telemetry.Telemetry
+module Trace = Activermt_telemetry.Trace
 module Json = Activermt_telemetry.Json
 
 let params = Rmt.Params.default
@@ -138,6 +139,81 @@ let json_of_stats s =
       ("counters", Json.Obj counters);
     ]
 
+(* Flight-recorder overhead on the admit path: the same mixed workload
+   with tracing off (a [Trace.noop] tracer — the default every component
+   ships with), head-sampled at 1%, and fully sampled.  The "off" figure
+   must stay within noise of the untraced runs above; the sampled figures
+   quantify what --trace-out costs.  The section is candidate-only, so
+   bench_compare reports it as INFO rather than gating on it. *)
+let measure_traced ~tracer arrivals =
+  let alloc =
+    Allocator.create ~domains:1 ~telemetry:(Telemetry.create ()) ~tracer params
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (a : Allocator.arrival) ->
+      let trace =
+        Trace.start_trace tracer
+          ~attrs:[ ("fid", string_of_int a.Allocator.fid) ]
+          "bench.arrival"
+      in
+      ignore (Allocator.admit ?trace alloc a))
+    arrivals;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Allocator.shutdown alloc;
+  wall_s
+
+(* A single 500-arrival replay finishes in tens of milliseconds, so one
+   sample is dominated by scheduler noise; best-of-N isolates the real
+   per-arrival cost the overhead comparison is after. *)
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    best := Float.min !best (f ())
+  done;
+  !best
+
+let trace_section mixed =
+  let n = List.length mixed in
+  let reps = 5 in
+  let t_off = best_of reps (fun () -> measure_traced ~tracer:Trace.noop mixed) in
+  let sampled = Trace.create ~sample:0.01 () in
+  let t_sampled =
+    best_of reps (fun () ->
+        Trace.reset sampled;
+        measure_traced ~tracer:sampled mixed)
+  in
+  let full = Trace.create ~sample:1.0 () in
+  let t_full =
+    best_of reps (fun () ->
+        Trace.reset full;
+        measure_traced ~tracer:full mixed)
+  in
+  let tput t = Float.round (10.0 *. (float_of_int n /. t)) /. 10.0 in
+  let overhead t = Float.round (1000.0 *. ((t -. t_off) /. t_off)) /. 10.0 in
+  Printf.printf
+    "trace overhead (mixed/d1):  off %9.1f arrivals/s   1%% sampled %9.1f \
+     (%+.1f%%)   full %9.1f (%+.1f%%)\n"
+    (tput t_off) (tput t_sampled) (overhead t_sampled) (tput t_full)
+    (overhead t_full);
+  let cfg t tracer =
+    Json.Obj
+      [
+        ("arrivals_per_sec", Json.Num (tput t));
+        ("overhead_pct", Json.Num (overhead t));
+        ("events", Json.Num (float_of_int (Trace.length tracer)));
+      ]
+  in
+  Json.Obj
+    [
+      ("workload", Json.Str "mixed");
+      ("domains", Json.Num 1.0);
+      ("arrivals", Json.Num (float_of_int n));
+      ("off_arrivals_per_sec", Json.Num (tput t_off));
+      ("sampled_1pct", cfg t_sampled sampled);
+      ("full", cfg t_full full);
+    ]
+
 let git_commit () =
   try
     let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
@@ -160,10 +236,11 @@ let json_meta ~quick ~n =
       ("arrivals_per_workload", Json.Num (float_of_int n));
     ]
 
-let json_of_run ~quick ~n stats =
+let json_of_run ~quick ~n ~trace stats =
   Json.Obj
     [
       ("meta", json_meta ~quick ~n);
+      ("trace", trace);
       ( "baseline_seq",
         Json.Arr
           (List.map
@@ -260,5 +337,6 @@ let run ~quick =
     Printf.printf "mixed speedup vs seed baseline (1 domain): %.1fx\n"
       (throughput s /. base)
   | None -> ());
-  write_json ~path:"BENCH_alloc.json" (json_of_run ~quick ~n stats);
+  let trace = trace_section mixed in
+  write_json ~path:"BENCH_alloc.json" (json_of_run ~quick ~n ~trace stats);
   print_endline "wrote BENCH_alloc.json"

@@ -7,6 +7,7 @@
      allocsim replay a comma-separated arrival list against the allocator
      fleetsim replay a service workload against a multi-switch fleet
      faultsim run the protocol stack under a seeded fault profile
+     tracequery filter and render a Chrome trace dump as causal trees
      apps     print the bundled example services *)
 
 module Spec = Activermt_compiler.Spec
@@ -14,6 +15,8 @@ module Mutant = Activermt_compiler.Mutant
 module Allocator = Activermt_alloc.Allocator
 module App = Activermt_apps.App
 module Telemetry = Activermt_telemetry.Telemetry
+module Trace = Activermt_telemetry.Trace
+module Json = Activermt_telemetry.Json
 
 (* Shared by the subcommands that record telemetry (allocsim, trace):
    dump the default registry as JSON once the command finishes. *)
@@ -22,6 +25,23 @@ let write_metrics = function
   | Some path ->
     Telemetry.write_json Telemetry.default ~path;
     Printf.printf "wrote telemetry to %s\n" path
+
+(* Shared by the simulation subcommands: --trace-out enables the flight
+   recorder (head sampling at --trace-sample) and dumps Chrome trace JSON
+   when the command finishes.  Without --trace-out the tracer is
+   [Trace.noop] and the run is bit-identical to an untraced build. *)
+let make_tracer trace_out sample =
+  match trace_out with
+  | None -> Trace.noop
+  | Some _ -> Trace.create ~sample ()
+
+let write_trace tracer = function
+  | None -> ()
+  | Some path ->
+    Trace.write_chrome tracer path;
+    Printf.printf "wrote %d trace events to %s\n"
+      (List.length (Trace.events tracer))
+      path
 
 let params = Rmt.Params.default
 
@@ -103,8 +123,10 @@ and cmd_mutants path policy =
     mutants;
   if List.length mutants > 50 then print_endline "  ..."
 
-and cmd_allocsim spec_str scheme policy domains metrics_out =
-  let alloc = Allocator.create ~scheme ~policy ~domains params in
+and cmd_allocsim spec_str scheme policy domains metrics_out trace_out
+    trace_sample =
+  let tracer = make_tracer trace_out trace_sample in
+  let alloc = Allocator.create ~scheme ~policy ~domains ~tracer params in
   let next_fid = ref 0 in
   let service_of = function
     | "cache" -> Some Activermt_apps.Cache.service
@@ -129,7 +151,12 @@ and cmd_allocsim spec_str scheme policy domains metrics_out =
                demand_blocks = app.App.demand_blocks;
              }
            in
-           match Allocator.admit alloc arrival with
+           let trace =
+             Trace.start_trace tracer
+               ~attrs:[ ("fid", string_of_int !next_fid); ("app", name) ]
+               "allocsim.arrival"
+           in
+           match Allocator.admit ?trace alloc arrival with
            | Allocator.Admitted adm ->
              Printf.printf "fid %d (%s): admitted; stages %s; reallocated %d apps; %.2f ms\n"
                !next_fid name
@@ -144,9 +171,11 @@ and cmd_allocsim spec_str scheme policy domains metrics_out =
                !next_fid name r.Allocator.considered_mutants
                (1000.0 *. r.Allocator.compute_time_s)));
   Printf.printf "final utilization: %.3f\n" (Allocator.utilization alloc);
-  write_metrics metrics_out
+  write_metrics metrics_out;
+  write_trace tracer trace_out
 
-and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw metrics_out =
+and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw metrics_out
+    trace_out trace_sample =
   let module Topology = Activermt_fleet.Topology in
   let module Placement = Activermt_fleet.Placement in
   let module Fleet = Activermt_fleet.Fleet in
@@ -162,7 +191,8 @@ and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw metrics_out =
     | `Line -> Topology.line ~switches ~latency_s:1e-5
     | `Star -> Topology.star ~switches ~latency_s:1e-5
   in
-  let fleet = Fleet.create ~policy topo in
+  let tracer = make_tracer trace_out trace_sample in
+  let fleet = Fleet.create ~policy ~tracer topo in
   let events =
     List.concat_map
       (fun (e : Churn.epoch) ->
@@ -190,6 +220,45 @@ and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw metrics_out =
       | _ -> ());
       ignore (Fleet.admit fleet ~fid (Experiments.Harness.app_of_kind kind)))
     events;
+  (* With tracing on, probe a few resident services from clients homed on
+     a different switch: each probe is a head-sampled capsule whose trace
+     crosses the inter-switch bridge and executes where the service
+     lives, linking data-plane stage events back to the control-plane
+     provision span via the [admit.*] attributes. *)
+  if Trace.enabled tracer then begin
+    let module Memsync = Activermt_apps.Memsync in
+    let vflags = { Activermt.Packet.no_flags with virtual_addressing = true } in
+    let probed = ref 0 in
+    List.iter
+      (fun (fid, sw) ->
+        if !probed < 8 then
+          let alloc =
+            Activermt_control.Controller.allocator (Fleet.controller fleet ~sw)
+          in
+          match Allocator.regions_of alloc ~fid with
+          | Some ({ Allocator.stage; _ } :: _) ->
+            let home = ref (-1) in
+            for s = switches - 1 downto 0 do
+              if s <> sw && Fleet.is_up fleet ~sw:s then home := s
+            done;
+            if !home >= 0 then begin
+              incr probed;
+              let client = 1000 + fid in
+              Fleet.attach_client fleet ~client ~home:!home (fun _ -> ());
+              let pkt =
+                Activermt.Packet.exec ~flags:vflags ~fid ~seq:0
+                  ~args:(Memsync.read_args ~index:0)
+                  (Memsync.read_program ~stages:[ stage ])
+              in
+              Fleet.inject fleet ~client
+                (Netsim.Fabric.msg ~src:client ~dst:sw
+                   (Netsim.Fabric.Active pkt))
+            end
+          | Some [] | None -> ())
+      (Fleet.residents fleet);
+    Netsim.Engine.run (Fleet.engine fleet);
+    Printf.printf "trace: probed %d services cross-switch\n" !probed
+  end;
   let tel = Telemetry.default in
   Printf.printf "%-8s %-5s %-10s %-12s\n" "switch" "up" "residents" "utilization";
   List.iter
@@ -208,10 +277,11 @@ and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw metrics_out =
     (match Telemetry.gauge_value tel "fleet.occupancy" with
     | Some v -> v
     | None -> 0.0);
-  write_metrics metrics_out
+  write_metrics metrics_out;
+  write_trace tracer trace_out
 
 and cmd_faultsim services words loss dup corrupt jitter slow_ctl ctl_fail seed
-    no_retries trace metrics_out =
+    no_retries trace metrics_out trace_out trace_sample =
   let module Chaos = Experiments.Chaos in
   let module Faults = Netsim.Faults in
   let profile =
@@ -242,7 +312,8 @@ and cmd_faultsim services words loss dup corrupt jitter slow_ctl ctl_fail seed
     services words seed
     (if no_retries then "off" else "on")
     loss dup corrupt jitter slow_ctl ctl_fail;
-  let r = Chaos.run cfg in
+  let tracer = make_tracer trace_out trace_sample in
+  let r = Chaos.run ~tracer cfg in
   List.iter
     (fun (fid, o) ->
       Printf.printf "  fid %-3d %s\n" fid (Chaos.outcome_to_string o))
@@ -259,7 +330,126 @@ and cmd_faultsim services words loss dup corrupt jitter slow_ctl ctl_fail seed
     List.iter
       (fun e -> Format.printf "%a@." Faults.pp_event e)
       (Faults.events r.Chaos.faults);
-  write_metrics metrics_out
+  write_metrics metrics_out;
+  write_trace tracer trace_out
+
+and cmd_tracequery path trace_id fid switch name_filter assert_cross =
+  let text =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let json =
+    match Json.of_string text with
+    | Ok j -> j
+    | Error e ->
+      Printf.eprintf "error: %s: %s\n" path e;
+      exit 1
+  in
+  let raw =
+    match Json.member "traceEvents" json with
+    | Some (Json.Arr l) -> l
+    | _ ->
+      Printf.eprintf "error: %s: no traceEvents array\n" path;
+      exit 1
+  in
+  (* Reconstruct events from the Chrome dump: "X" slices carry the span
+     triple (numbers) and the attributes (strings) in [args]; "M"
+     metadata records are skipped. *)
+  let num field obj = Option.bind (Json.member field obj) Json.to_num in
+  let events =
+    List.filter_map
+      (fun ev ->
+        match Json.member "ph" ev with
+        | Some (Json.Str "X") ->
+          let args =
+            Option.value (Json.member "args" ev) ~default:(Json.Obj [])
+          in
+          let iget f =
+            match num f args with Some v -> int_of_float v | None -> 0
+          in
+          let ts = Option.value (num "ts" ev) ~default:0.0 in
+          let dur = Option.value (num "dur" ev) ~default:0.0 in
+          let attrs =
+            match Json.to_obj args with
+            | Some kvs ->
+              List.filter_map
+                (fun (k, v) ->
+                  match v with Json.Str s -> Some (k, s) | _ -> None)
+                kvs
+            | None -> []
+          in
+          Some
+            {
+              Trace.trace_id = iget "trace_id";
+              span_id = iget "span_id";
+              parent_span_id = iget "parent_span_id";
+              t_start = ts /. 1e6;
+              t_end = (ts +. dur) /. 1e6;
+              name =
+                (match Json.member "name" ev with
+                | Some (Json.Str s) -> s
+                | _ -> "");
+              attrs;
+            }
+        | _ -> None)
+      raw
+  in
+  (* Group into whole traces (first-appearance order); each filter keeps
+     a trace when *some* event of it satisfies the filter, so the output
+     always shows complete causal trees. *)
+  let attr k (ev : Trace.event) = List.assoc_opt k ev.Trace.attrs in
+  let order = ref [] and groups = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      match Hashtbl.find_opt groups ev.Trace.trace_id with
+      | Some l -> l := ev :: !l
+      | None ->
+        Hashtbl.add groups ev.Trace.trace_id (ref [ ev ]);
+        order := ev.Trace.trace_id :: !order)
+    events;
+  let has p evs = List.exists p evs in
+  let kept_trace tid evs =
+    (match trace_id with None -> true | Some id -> tid = id)
+    && (match fid with
+       | None -> true
+       | Some f -> has (fun e -> attr "fid" e = Some (string_of_int f)) evs)
+    && (match switch with
+       | None -> true
+       | Some s -> has (fun e -> attr "switch" e = Some (string_of_int s)) evs)
+    && match name_filter with
+       | None -> true
+       | Some n -> has (fun (e : Trace.event) -> e.Trace.name = n) evs
+  in
+  let kept =
+    List.filter_map
+      (fun tid ->
+        let evs = List.rev !(Hashtbl.find groups tid) in
+        if kept_trace tid evs then Some evs else None)
+      (List.rev !order)
+  in
+  let kept_events = List.concat kept in
+  print_string (Trace.render_tree kept_events);
+  Printf.printf "%d of %d traces, %d events\n" (List.length kept)
+    (Hashtbl.length groups) (List.length kept_events);
+  if assert_cross then begin
+    let cross =
+      List.exists
+        (fun evs ->
+          let sws =
+            List.sort_uniq compare (List.filter_map (attr "switch") evs)
+          in
+          List.length sws >= 2)
+        kept
+    in
+    if cross then print_endline "cross-switch: ok"
+    else begin
+      Printf.eprintf "error: no kept trace spans two or more switches\n";
+      exit 1
+    end
+  end
 
 and cmd_trace path args_str privileged metrics_out =
   let program = read_program path in
@@ -379,6 +569,24 @@ let metrics_out_arg =
           ~doc:"Dump the telemetry registry (counters, gauges, span \
                 histograms) as JSON to $(docv) when the command finishes."))
 
+let trace_out_arg =
+  Arg.value
+    (Arg.opt (Arg.some Arg.string) None
+       (Arg.info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Enable the capsule flight recorder and dump the causal \
+                trace as Chrome trace-event JSON (Perfetto-loadable) to \
+                $(docv) when the command finishes.  Without this flag \
+                tracing is fully disabled and the run is bit-identical to \
+                an untraced build."))
+
+let trace_sample_arg =
+  Arg.value
+    (Arg.opt Arg.float 1.0
+       (Arg.info [ "trace-sample" ] ~docv:"RATE"
+          ~doc:"Head-sampling probability in [0,1] for new traces \
+                (default 1 = keep everything).  Sampling is seeded and \
+                deterministic: the same run keeps the same traces."))
+
 let positive_int =
   Arg.conv
     ( (fun s ->
@@ -402,7 +610,7 @@ let allocsim_cmd =
   Cmd.v (Cmd.info "allocsim" ~doc:"replay arrivals against the allocator")
     Term.(
       const cmd_allocsim $ spec $ scheme_arg $ policy_arg $ domains_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ trace_out_arg $ trace_sample_arg)
 
 let fleetsim_cmd =
   let module Placement = Activermt_fleet.Placement in
@@ -448,7 +656,8 @@ let fleetsim_cmd =
        ~doc:"replay a service workload against a multi-switch fleet")
     Term.(
       const cmd_fleetsim $ switches_arg $ topo_arg $ policy_arg $ arrivals_arg
-      $ seed_arg $ fail_arg $ metrics_out_arg)
+      $ seed_arg $ fail_arg $ metrics_out_arg $ trace_out_arg
+      $ trace_sample_arg)
 
 let faultsim_cmd =
   let prob name doc =
@@ -509,7 +718,55 @@ let faultsim_cmd =
     Term.(
       const cmd_faultsim $ services_arg $ words_arg $ loss_arg $ dup_arg
       $ corrupt_arg $ jitter_arg $ slow_ctl_arg $ ctl_fail_arg $ seed_arg
-      $ no_retries_arg $ trace_arg $ metrics_out_arg)
+      $ no_retries_arg $ trace_arg $ metrics_out_arg $ trace_out_arg
+      $ trace_sample_arg)
+
+let tracequery_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json")
+  in
+  let trace_id_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-id" ] ~docv:"ID" ~doc:"Show only this trace.")
+  in
+  let fid_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fid" ] ~docv:"FID"
+          ~doc:"Keep traces with an event whose fid attribute is $(docv).")
+  in
+  let switch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "switch" ] ~docv:"SW"
+          ~doc:"Keep traces with an event at switch $(docv).")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"EVENT"
+          ~doc:"Keep traces containing an event named $(docv), e.g. \
+                fault.drop.")
+  in
+  let assert_cross_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "assert-cross-switch" ]
+          ~doc:"Exit non-zero unless some kept trace has events on two or \
+                more distinct switches (CI smoke check).")
+  in
+  Cmd.v
+    (Cmd.info "tracequery"
+       ~doc:"filter a Chrome trace dump and print causal event trees")
+    Term.(
+      const cmd_tracequery $ path $ trace_id_arg $ fid_arg $ switch_arg
+      $ name_arg $ assert_cross_arg)
 
 let trace_cmd =
   let args_arg =
@@ -533,4 +790,4 @@ let () =
   let info = Cmd.info "activermt" ~doc:"ActiveRMT tools (SIGCOMM 2023 reproduction)" in
   exit (Cmd.eval (Cmd.group info
        [ asm_cmd; disasm_cmd; mutants_cmd; allocsim_cmd; fleetsim_cmd;
-         faultsim_cmd; trace_cmd; apps_cmd; p4gen_cmd ]))
+         faultsim_cmd; tracequery_cmd; trace_cmd; apps_cmd; p4gen_cmd ]))

@@ -64,11 +64,12 @@ type t = {
          enumerates each shape once (clients cache them likewise) *)
   dpool : Stdx.Domain_pool.t;  (* fan-out width for mutant scoring *)
   tel : Telemetry.t;
+  tracer : Trace.t;
 }
 
 let create ?(scheme = Worst_fit) ?(policy = Mutant.Most_constrained)
     ?(mutant_limit = 4096) ?(domains = 1) ?(telemetry = Telemetry.default)
-    params =
+    ?(tracer = Trace.noop) params =
   {
     params;
     scheme;
@@ -81,6 +82,7 @@ let create ?(scheme = Worst_fit) ?(policy = Mutant.Most_constrained)
     mutants_cache = Hashtbl.create 16;
     dpool = Stdx.Domain_pool.create ~size:domains ();
     tel = telemetry;
+    tracer;
   }
 
 let mutants_of t (spec : Spec.t) =
@@ -256,11 +258,15 @@ let diff_reallocated t before =
         else None)
     before
 
-let admit t (a : arrival) =
+let admit ?trace t (a : arrival) =
   if Hashtbl.mem t.apps a.fid then
     invalid_arg (Printf.sprintf "Allocator.admit: fid %d already resident" a.fid);
   if Array.length a.demand_blocks <> Array.length a.spec.Spec.accesses then
     invalid_arg "Allocator.admit: demand_blocks does not match spec accesses";
+  Trace.with_span t.tracer trace
+    ~attrs:[ ("fid", string_of_int a.fid) ]
+    "alloc.admit"
+  @@ fun tctx ->
   let t0 = Unix.gettimeofday () in
   Telemetry.span_begin t.tel "alloc.admit";
   let mutants = mutants_of t a.spec in
@@ -306,10 +312,24 @@ let admit t (a : arrival) =
   let feasible_count = !feasible_count in
   Telemetry.incr t.tel "alloc.mutants.considered" ~by:considered;
   Telemetry.incr t.tel "alloc.mutants.feasible" ~by:feasible_count;
+  (match tctx with
+  | None -> ()
+  | Some c ->
+    ignore
+      (Trace.instant t.tracer c
+         ~attrs:
+           [
+             ("considered", string_of_int considered);
+             ("feasible", string_of_int feasible_count);
+           ]
+         "alloc.score"));
   match !best with
   | -1 ->
     Telemetry.incr t.tel "alloc.rejected";
     Telemetry.span_end t.tel (* alloc.admit *);
+    (match tctx with
+    | None -> ()
+    | Some c -> ignore (Trace.instant t.tracer c "alloc.rejected"));
     Rejected
       { considered_mutants = considered; compute_time_s = Unix.gettimeofday () -. t0 }
   | best ->
@@ -355,6 +375,17 @@ let admit t (a : arrival) =
     Telemetry.incr t.tel "alloc.admitted";
     Telemetry.incr t.tel "alloc.reallocated" ~by:(List.length reallocated);
     Telemetry.span_end t.tel (* alloc.admit *);
+    (match tctx with
+    | None -> ()
+    | Some c ->
+      ignore
+        (Trace.instant t.tracer c
+           ~attrs:
+             [
+               ("stages", string_of_int (List.length regions));
+               ("reallocated", string_of_int (List.length reallocated));
+             ]
+           "alloc.fill"));
     Admitted
       {
         fid = a.fid;
@@ -366,10 +397,14 @@ let admit t (a : arrival) =
         compute_time_s = Unix.gettimeofday () -. t0;
       }
 
-let depart t ~fid =
+let depart ?trace t ~fid =
   match Hashtbl.find_opt t.apps fid with
   | None -> []
   | Some app ->
+    Trace.with_span t.tracer trace
+      ~attrs:[ ("fid", string_of_int fid) ]
+      "alloc.depart"
+    @@ fun _tctx ->
     Telemetry.with_span t.tel "alloc.depart" (fun () ->
         Telemetry.incr t.tel "alloc.departed";
         let stages = List.map fst app.app_demand in

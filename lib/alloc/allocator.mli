@@ -53,6 +53,7 @@ val create :
   ?mutant_limit:int ->
   ?domains:int ->
   ?telemetry:Telemetry.t ->
+  ?tracer:Trace.t ->
   Rmt.Params.t ->
   t
 (** Defaults: worst-fit (the prototype's choice) and most-constrained.
@@ -85,11 +86,14 @@ val shutdown : t -> unit
     but each holds [domains - 1] live domains until then — shut down
     allocators you create in a loop. *)
 
-val admit : t -> arrival -> outcome
-(** @raise Invalid_argument if the FID is already resident or the demand
+val admit : ?trace:Trace.ctx -> t -> arrival -> outcome
+(** [trace] hangs an [alloc.admit] span (with score/fill/outcome children)
+    off the given context in the tracer passed at {!create}; omitted, the
+    call emits no trace events at all.
+    @raise Invalid_argument if the FID is already resident or the demand
     array does not match the spec's accesses. *)
 
-val depart : t -> fid:int -> (int * stage_range list) list
+val depart : ?trace:Trace.ctx -> t -> fid:int -> (int * stage_range list) list
 (** Remove the app; returns the apps reallocated (expanded) as a result.
     Unknown FIDs return []. *)
 

@@ -3,3 +3,4 @@
 module Spec = Activermt_compiler.Spec
 module Mutant = Activermt_compiler.Mutant
 module Telemetry = Activermt_telemetry.Telemetry
+module Trace = Activermt_telemetry.Trace

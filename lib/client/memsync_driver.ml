@@ -1,4 +1,5 @@
 module Memsync = Activermt_apps.Memsync
+module Trace = Activermt_telemetry.Trace
 
 type op = Read | Write of (int -> int list)
 
@@ -21,6 +22,8 @@ type t = {
   jitter : float;
   max_attempts : int;  (* 0 = unbounded (legacy behavior) *)
   rng : Stdx.Prng.t;
+  tracer : Trace.t;
+  mutable trace : Trace.ctx option;
   op : op;
   program : Activermt.Program.t;
   slots : slot array;
@@ -33,7 +36,7 @@ type t = {
 let vflags = { Activermt.Packet.no_flags with virtual_addressing = true }
 
 let create ?(multiplier = 1.0) ?max_timeout_s ?(jitter = 0.0) ?(max_attempts = 0)
-    ?(seed = 0x315d) ~fid ~stages ~count ~timeout_s op =
+    ?(seed = 0x315d) ?(tracer = Trace.noop) ~fid ~stages ~count ~timeout_s op =
   if count <= 0 then invalid_arg "Memsync_driver.create: count must be positive";
   if timeout_s <= 0.0 then invalid_arg "Memsync_driver.create: timeout must be positive";
   if multiplier < 1.0 then
@@ -60,6 +63,8 @@ let create ?(multiplier = 1.0) ?max_timeout_s ?(jitter = 0.0) ?(max_attempts = 0
     jitter;
     max_attempts;
     rng = Stdx.Prng.create ~seed:(seed lxor (fid * 0x9E3779B1));
+    tracer;
+    trace = None;
     op;
     program;
     slots =
@@ -124,9 +129,36 @@ let transmit t ~now ~send index =
   slot.tries <- slot.tries + 1;
   t.sent <- t.sent + 1;
   Hashtbl.replace t.seq_to_index seq index;
+  (* Per-index transmit events only at Stages verbosity — a big sync
+     would otherwise dominate the store. *)
+  (match t.trace with
+  | Some ctx when Trace.stage_detail t.tracer ->
+    ignore
+      (Trace.span t.tracer ctx ~t_start:now ~t_end:now
+         ~attrs:
+           [
+             ("index", string_of_int index);
+             ("seq", string_of_int seq);
+             ("try", string_of_int slot.tries);
+           ]
+         "memsync.xmit")
+  | Some _ | None -> ());
   send ~seq (packet_for t ~seq ~index)
 
+let op_string = function Read -> "read" | Write _ -> "write"
+
 let start t ~now ~send =
+  if t.trace = None then
+    t.trace <-
+      Trace.start_trace t.tracer
+        ~attrs:
+          [
+            ("fid", string_of_int t.fid);
+            ("op", op_string t.op);
+            ("count", string_of_int t.count);
+            ("stages", String.concat "," (List.map string_of_int t.stages));
+          ]
+        "memsync.sync";
   for index = 0 to t.count - 1 do
     if not t.slots.(index).acked then transmit t ~now ~send index
   done
@@ -147,6 +179,13 @@ let on_reply t ~seq ~args =
             if k + 1 < Array.length args then t.results.(k).(index) <- args.(k + 1))
           t.stages
       | Write _ -> ());
+      (match t.trace with
+      | Some ctx when outstanding t = 0 ->
+        ignore
+          (Trace.instant t.tracer ctx
+             ~attrs:[ ("attempts", string_of_int t.sent) ]
+             "memsync.done")
+      | Some _ | None -> ());
       true
     end
 
@@ -163,7 +202,19 @@ let tick t ~now ~send =
       incr resent
     end
   done;
+  (match t.trace with
+  | Some ctx when !resent > 0 ->
+    ignore
+      (Trace.span t.tracer ctx ~t_start:now ~t_end:now
+         ~attrs:
+           [
+             ("resent", string_of_int !resent);
+             ("outstanding", string_of_int (outstanding t));
+           ]
+         "memsync.retry")
+  | Some _ | None -> ());
   !resent
 
 let values t = t.results
 let attempts t = t.sent
+let trace t = t.trace

@@ -20,6 +20,7 @@ val create :
   ?jitter:float ->
   ?max_attempts:int ->
   ?seed:int ->
+  ?tracer:Activermt_telemetry.Trace.t ->
   fid:Activermt.Packet.fid ->
   stages:int list ->
   count:int ->
@@ -41,6 +42,13 @@ val create :
     - [max_attempts] (default 0 = unbounded): per-index transmission
       budget; an index that spends it stops retransmitting and counts as
       {!exhausted}.
+
+    [tracer] (default [Trace.noop]) records the sync as a trace:
+    {!start} opens a head-sampled [memsync.sync] root (fid, op, count,
+    stages), each {!tick} that retransmits emits one batch
+    [memsync.retry] event (resent/outstanding counts), per-packet
+    [memsync.xmit] events appear only at [Stages] verbosity, and the
+    reply completing the sync emits [memsync.done].
     @raise Invalid_argument on out-of-range parameters. *)
 
 val outstanding : t -> int
@@ -76,3 +84,8 @@ val values : t -> int array array
 
 val attempts : t -> int
 (** Total packets sent, for loss accounting. *)
+
+val trace : t -> Activermt_telemetry.Trace.ctx option
+(** The sync's trace context once started (and head-sampled) — attach it
+    to outgoing fabric messages so capsule hops chain under the
+    [memsync.sync] trace. *)

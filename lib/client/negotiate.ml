@@ -1,5 +1,6 @@
 module App = Activermt_apps.App
 module Spec = Activermt_compiler.Spec
+module Trace = Activermt_telemetry.Trace
 
 let request_packet ~fid ~seq (app : App.t) =
   let request =
@@ -79,13 +80,16 @@ type session = {
   app : App.t;
   backoff : backoff;
   rng : Stdx.Prng.t;
+  tracer : Trace.t;
+  mutable trace : Trace.ctx option;
   mutable attempts : int;
   mutable cur_timeout_s : float;
   mutable deadline_s : float;
   mutable outcome : outcome option;
 }
 
-let session ?(backoff = default_backoff) ?(seed = 0x5e55) ~fid app =
+let session ?(backoff = default_backoff) ?(seed = 0x5e55)
+    ?(tracer = Trace.noop) ~fid app =
   validate_backoff backoff;
   {
     s_fid = fid;
@@ -94,6 +98,8 @@ let session ?(backoff = default_backoff) ?(seed = 0x5e55) ~fid app =
     (* Decorrelate per-FID jitter so a fleet of clients created from one
        base seed doesn't retry in lockstep. *)
     rng = Stdx.Prng.create ~seed:(seed lxor (fid * 0x2545F49));
+    tracer;
+    trace = None;
     attempts = 0;
     cur_timeout_s = backoff.base_timeout_s;
     deadline_s = infinity;
@@ -103,6 +109,7 @@ let session ?(backoff = default_backoff) ?(seed = 0x5e55) ~fid app =
 let session_fid s = s.s_fid
 let attempts s = s.attempts
 let outcome s = s.outcome
+let trace s = s.trace
 
 (* Full jitter would defeat the determinism tests' round numbers; a
    bounded symmetric factor keeps the retry spread while staying within
@@ -114,10 +121,37 @@ let jittered s dt =
 let transmit s ~now ~send =
   s.attempts <- s.attempts + 1;
   s.deadline_s <- now +. jittered s s.cur_timeout_s;
+  (match s.trace with
+  | Some ctx ->
+    ignore
+      (Trace.span s.tracer ctx ~t_start:now ~t_end:now
+         ~attrs:
+           [
+             ("attempt", string_of_int s.attempts);
+             ("seq", string_of_int (s.attempts - 1));
+             ("timeout_s", Printf.sprintf "%g" (s.deadline_s -. now));
+           ]
+         "negotiate.attempt")
+  | None -> ());
   send (request_packet ~fid:s.s_fid ~seq:(s.attempts - 1) s.app)
+
+let settle s outcome how =
+  s.outcome <- Some outcome;
+  match s.trace with
+  | Some ctx ->
+    ignore
+      (Trace.instant s.tracer ctx
+         ~attrs:
+           [ ("outcome", how); ("attempts", string_of_int s.attempts) ]
+         "negotiate.settled")
+  | None -> ()
 
 let start s ~now ~send =
   if s.attempts > 0 then invalid_arg "Negotiate.start: session already started";
+  s.trace <-
+    Trace.start_trace s.tracer
+      ~attrs:[ ("fid", string_of_int s.s_fid) ]
+      "negotiate.session";
   transmit s ~now ~send
 
 let on_packet s (pkt : Activermt.Packet.t) =
@@ -129,16 +163,17 @@ let on_packet s (pkt : Activermt.Packet.t) =
       ->
       (* Any granted response settles the session — responses to older
          attempts are equally valid because the switch dedups by FID. *)
-      s.outcome <- Some (Granted regions);
+      settle s (Granted regions) "granted";
       `Granted regions
     | None, Activermt.Packet.Response { status = Activermt.Packet.Rejected; _ } ->
-      s.outcome <- Some Rejected;
+      settle s Rejected "rejected";
       `Rejected
     | None, (Activermt.Packet.Request _ | Activermt.Packet.Exec _ | Activermt.Packet.Bare)
       ->
       `Ignored
 
-let on_alloc_failed s = if s.outcome = None then s.outcome <- Some Rejected
+let on_alloc_failed s =
+  if s.outcome = None then settle s Rejected "alloc_failed"
 
 let tick s ~now ~send =
   match s.outcome with
@@ -147,7 +182,7 @@ let tick s ~now ~send =
     if s.attempts = 0 then invalid_arg "Negotiate.tick: session not started";
     if now < s.deadline_s then `Wait (s.deadline_s -. now)
     else if s.attempts >= s.backoff.max_attempts then begin
-      s.outcome <- Some Timeout;
+      settle s Timeout "timeout";
       `Done Timeout
     end
     else begin

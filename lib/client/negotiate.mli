@@ -54,12 +54,19 @@ type outcome =
 type session
 
 val session :
-  ?backoff:backoff -> ?seed:int -> fid:Activermt.Packet.fid ->
-  Activermt_apps.App.t -> session
+  ?backoff:backoff -> ?seed:int -> ?tracer:Activermt_telemetry.Trace.t ->
+  fid:Activermt.Packet.fid -> Activermt_apps.App.t -> session
 (** A fresh (unstarted) session.  [seed] (mixed with [fid] so sessions
     sharing a base seed still jitter independently) drives only the
     timeout jitter; with [backoff.jitter = 0] the session is entirely
     deterministic.
+
+    [tracer] (default [Trace.noop]) records the session as a trace:
+    [start] opens a [negotiate.session] root (head-sampled), every
+    transmission emits a [negotiate.attempt] child stamped with the
+    caller's [now] (attempt number, seq, armed timeout), and settling
+    emits [negotiate.settled] with the outcome
+    ([granted]/[rejected]/[alloc_failed]/[timeout]) and total attempts.
     @raise Invalid_argument on a malformed [backoff]. *)
 
 val start :
@@ -101,3 +108,8 @@ val attempts : session -> int
 (** Requests transmitted so far. *)
 
 val session_fid : session -> Activermt.Packet.fid
+
+val trace : session -> Activermt_telemetry.Trace.ctx option
+(** The session's trace context once started (and head-sampled) — attach
+    it to outgoing fabric messages so capsule hops chain under the
+    [negotiate.session] trace. *)

@@ -34,19 +34,27 @@ type t = {
   mutable pending : pending option;
   mutable log : Cost_model.breakdown list;
   tel : Telemetry.t;
+  tracer : Trace.t;
+  admit_traces : (Activermt.Packet.fid, Trace.ctx) Hashtbl.t;
+      (* the control.provision span that admitted each resident FID, so
+         data-plane execution events can link back to it *)
 }
 
 let create ?scheme ?policy ?(cost = Cost_model.default) ?(mode = `Auto)
-    ?(extraction_timeout_s = 1.0) ?(telemetry = Telemetry.default) device =
+    ?(extraction_timeout_s = 1.0) ?(telemetry = Telemetry.default)
+    ?(tracer = Trace.noop) device =
   {
     device;
     tables = Activermt.Table.create device;
     allocator =
-      Allocator.create ?scheme ?policy ~telemetry (Rmt.Device.params device);
+      Allocator.create ?scheme ?policy ~telemetry ~tracer
+        (Rmt.Device.params device);
     cost;
     mode;
     extraction_timeout_s;
     tel = telemetry;
+    tracer;
+    admit_traces = Hashtbl.create 32;
     snapshots = Hashtbl.create 32;
     virtual_flags = Hashtbl.create 32;
     privileged = Hashtbl.create 8;
@@ -200,7 +208,7 @@ let regions_packet t ~fid =
          ~granted:true)
   else None
 
-let handle_request t (pkt : Activermt.Packet.t) =
+let handle_request ?trace t (pkt : Activermt.Packet.t) =
   match pkt.Activermt.Packet.payload with
   | Activermt.Packet.Response _ | Activermt.Packet.Exec _ | Activermt.Packet.Bare ->
     Error (`Bad_packet "not an allocation request")
@@ -212,6 +220,13 @@ let handle_request t (pkt : Activermt.Packet.t) =
        no allocator or table work happened. *)
     let fid = pkt.Activermt.Packet.fid in
     Telemetry.incr t.tel "control.dup_requests";
+    (match trace with
+    | None -> ()
+    | Some c ->
+      ignore
+        (Trace.instant t.tracer c
+           ~attrs:[ ("fid", string_of_int fid) ]
+           "control.dup_request"));
     Ok
       {
         fid;
@@ -242,9 +257,13 @@ let handle_request t (pkt : Activermt.Packet.t) =
       }
     in
     Telemetry.span_begin t.tel "control.provision";
+    Trace.with_span t.tracer trace
+      ~attrs:[ ("fid", string_of_int fid) ]
+      "control.provision"
+    @@ fun tctx ->
     (match
        Telemetry.with_span t.tel "control.allocation" (fun () ->
-           Allocator.admit t.allocator arrival)
+           Allocator.admit ?trace:tctx t.allocator arrival)
      with
     | Allocator.Rejected r ->
       let timing =
@@ -262,6 +281,13 @@ let handle_request t (pkt : Activermt.Packet.t) =
         Telemetry.with_span t.tel "control.snapshot" (fun () ->
             List.fold_left (fun acc f -> acc + take_snapshot t ~fid:f) 0 realloc_fids)
       in
+      (match tctx with
+      | None -> ()
+      | Some c ->
+        ignore
+          (Trace.instant t.tracer c
+             ~attrs:[ ("words", string_of_int words) ]
+             "control.snapshot"));
       Activermt.Table.reset_update_stats t.tables;
       Telemetry.span_begin t.tel "control.table_update";
       let phase =
@@ -305,6 +331,18 @@ let handle_request t (pkt : Activermt.Packet.t) =
       in
       t.log <- timing :: t.log;
       Telemetry.span_end t.tel (* control.provision *);
+      (match tctx with
+      | None -> ()
+      | Some c ->
+        ignore
+          (Trace.instant t.tracer c
+             ~attrs:
+               [
+                 ("entries", string_of_int entries);
+                 ("reallocated", string_of_int (List.length realloc_fids));
+               ]
+             "control.table_update");
+        Hashtbl.replace t.admit_traces fid c);
       Ok
         {
           fid;
@@ -321,8 +359,13 @@ let finish_pending_if_done t =
     t.pending <- None
   | Some _ | None -> ()
 
-let handle_departure t ~fid =
+let handle_departure ?trace t ~fid =
+  Trace.with_span t.tracer trace
+    ~attrs:[ ("fid", string_of_int fid) ]
+    "control.departure"
+  @@ fun tctx ->
   Activermt.Table.remove t.tables ~fid;
+  Hashtbl.remove t.admit_traces fid;
   Hashtbl.remove t.snapshots fid;
   (* A service departing mid-extraction no longer blocks the pending
      admission. *)
@@ -336,7 +379,7 @@ let handle_departure t ~fid =
   let t0 = Sys.time () in
   let expanded =
     Telemetry.with_span t.tel "control.allocation" (fun () ->
-        Allocator.depart t.allocator ~fid)
+        Allocator.depart ?trace:tctx t.allocator ~fid)
   in
   let alloc_s = Sys.time () -. t0 in
   let expanded_fids = List.map fst expanded in
@@ -415,3 +458,5 @@ let write_region_word t ~fid ~stage ~index ~value =
       end)
 
 let provision_log t = List.rev t.log
+let tracer t = t.tracer
+let admit_trace t ~fid = Hashtbl.find_opt t.admit_traces fid

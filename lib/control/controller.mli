@@ -43,6 +43,7 @@ val create :
   ?mode:commit_mode ->
   ?extraction_timeout_s:float ->
   ?telemetry:Telemetry.t ->
+  ?tracer:Trace.t ->
   Rmt.Device.t ->
   t
 (** [telemetry] (default {!Telemetry.default}) is shared with the
@@ -51,14 +52,21 @@ val create :
     [control.allocation], [control.snapshot] and [control.table_update]
     spans (Fig. 8a's breakdown from real timers, next to the modeled
     {!Cost_model.breakdown}) — plus [control.provisions],
-    [control.rejections] and [control.departures] counters. *)
+    [control.rejections] and [control.departures] counters.
+
+    [tracer] (default {!Trace.noop}) is shared with the embedded
+    allocator; when a request arrives with a trace context the
+    provisioning phases are recorded as causal trace spans too. *)
 
 val tables : t -> Activermt.Table.t
 val allocator : t -> Allocator.t
 val device : t -> Rmt.Device.t
 
 val handle_request :
-  t -> Activermt.Packet.t -> (provision, [ `Rejected of Allocator.rejected | `Bad_packet of string ]) result
+  ?trace:Trace.ctx ->
+  t ->
+  Activermt.Packet.t ->
+  (provision, [ `Rejected of Allocator.rejected | `Bad_packet of string ]) result
 (** Process one allocation-request packet (admission is serialized; this
     is the digest path).  On success the new app's tables are installed
     (its region zeroed) and, depending on mode, reallocated apps are
@@ -69,7 +77,11 @@ val handle_request :
     from the existing allocation — [reallocated = []], zero-work timing,
     counted under [control.dup_requests] — never allocated twice. *)
 
-val handle_departure : t -> fid:Activermt.Packet.fid -> Cost_model.breakdown * Activermt.Packet.fid list
+val handle_departure :
+  ?trace:Trace.ctx ->
+  t ->
+  fid:Activermt.Packet.fid ->
+  Cost_model.breakdown * Activermt.Packet.fid list
 (** Release a service's allocation; returns timing and the apps expanded
     (reallocated) into the freed space. *)
 
@@ -118,3 +130,11 @@ val write_region_word :
 
 val provision_log : t -> Cost_model.breakdown list
 (** Breakdown of every provisioning event so far, oldest first. *)
+
+val tracer : t -> Trace.t
+(** The tracer passed at {!create} ({!Trace.noop} by default). *)
+
+val admit_trace : t -> fid:Activermt.Packet.fid -> Trace.ctx option
+(** The [control.provision] span that admitted the FID, while it stays
+    resident — lets data-plane execution events link back to the
+    control-plane decision that placed the program. *)

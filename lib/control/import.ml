@@ -4,3 +4,4 @@ module Mutant = Activermt_compiler.Mutant
 module Allocator = Activermt_alloc.Allocator
 module Pool = Activermt_alloc.Pool
 module Telemetry = Activermt_telemetry.Telemetry
+module Trace = Activermt_telemetry.Trace

@@ -210,30 +210,78 @@ let checksum b =
   done;
   lnot !sum land 0xffff
 
-let frame b =
+type trace_ctx = { trace_id : int; span_id : int }
+
+(* Trailer layout, back to front: 2-byte checksum, 1-byte extension flags,
+   and (when flags bit 0 is set) an 8-byte trace extension of two u32s.
+   The checksum covers payload ++ extension ++ flags, so a corrupted
+   extension or flags byte is rejected like any other bit-flip — a damaged
+   frame can never yield a bogus trace context. *)
+let ext_flag_trace = 0x01
+let trace_ext_len = 8
+
+let set_u32 b off v =
+  Bytes.set_uint8 b off ((v lsr 24) land 0xff);
+  Bytes.set_uint8 b (off + 1) ((v lsr 16) land 0xff);
+  Bytes.set_uint8 b (off + 2) ((v lsr 8) land 0xff);
+  Bytes.set_uint8 b (off + 3) (v land 0xff)
+
+let get_u32 b off =
+  (Bytes.get_uint8 b off lsl 24)
+  lor (Bytes.get_uint8 b (off + 1) lsl 16)
+  lor (Bytes.get_uint8 b (off + 2) lsl 8)
+  lor Bytes.get_uint8 b (off + 3)
+
+let frame ?trace b =
   let n = Bytes.length b in
-  let framed = Bytes.create (n + 2) in
+  let ext = match trace with None -> 0 | Some _ -> trace_ext_len in
+  let framed = Bytes.create (n + ext + 3) in
   Bytes.blit b 0 framed 0 n;
-  let c = checksum b in
-  Bytes.set_uint8 framed n (c lsr 8);
-  Bytes.set_uint8 framed (n + 1) (c land 0xff);
+  (match trace with
+  | None -> Bytes.set_uint8 framed n 0x00
+  | Some ctx ->
+    set_u32 framed n (ctx.trace_id land 0xffffffff);
+    set_u32 framed (n + 4) (ctx.span_id land 0xffffffff);
+    Bytes.set_uint8 framed (n + ext) ext_flag_trace);
+  let c = checksum (Bytes.sub framed 0 (n + ext + 1)) in
+  Bytes.set_uint8 framed (n + ext + 1) (c lsr 8);
+  Bytes.set_uint8 framed (n + ext + 2) (c land 0xff);
   framed
 
-let unframe framed =
+let unframe_traced framed =
   let n = Bytes.length framed in
-  if n < 2 then Error "short frame: no checksum trailer"
+  if n < 3 then Error "short frame: no checksum trailer"
   else begin
-    let payload = Bytes.sub framed 0 (n - 2) in
     let stored =
       (Bytes.get_uint8 framed (n - 2) lsl 8) lor Bytes.get_uint8 framed (n - 1)
     in
-    let computed = checksum payload in
-    if stored = computed then Ok payload
-    else
+    let computed = checksum (Bytes.sub framed 0 (n - 2)) in
+    if stored <> computed then
       Error
         (Printf.sprintf "checksum mismatch: stored 0x%04x, computed 0x%04x"
            stored computed)
+    else begin
+      let flags = Bytes.get_uint8 framed (n - 3) in
+      if flags = 0x00 then Ok (Bytes.sub framed 0 (n - 3), None)
+      else if flags = ext_flag_trace then begin
+        if n < 3 + trace_ext_len then
+          Error "short frame: trace extension truncated"
+        else begin
+          let off = n - 3 - trace_ext_len in
+          let ctx =
+            { trace_id = get_u32 framed off; span_id = get_u32 framed (off + 4) }
+          in
+          Ok (Bytes.sub framed 0 off, Some ctx)
+        end
+      end
+      else Error (Printf.sprintf "unknown frame extension flags 0x%02x" flags)
+    end
   end
+
+let unframe framed =
+  match unframe_traced framed with
+  | Ok (payload, _) -> Ok payload
+  | Error _ as e -> e
 
 let decode_program ?(name = "wire") b ~off =
   let len = Bytes.length b in

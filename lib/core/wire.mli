@@ -25,18 +25,33 @@ val decode_program :
 
 (** {2 Capsule framing}
 
-    A capsule on the wire carries a 16-bit one's-complement checksum
-    trailer so corrupted capsules are rejected at the parser instead of
-    executing garbage.  The sum detects every single-byte error (see the
+    A capsule on the wire carries a trailer, back to front: a 16-bit
+    one's-complement checksum, a one-byte extension-flags field, and an
+    optional 8-byte trace extension (two big-endian u32s: trace id then
+    span id) when flags bit 0 is set.  The checksum covers payload,
+    extension and flags, and detects every single-byte error (see the
     implementation note), so the fault simulator's bit-flips always
-    surface as a clean rejection — corruption behaves like loss and the
-    client's retransmission logic recovers. *)
+    surface as a clean rejection — corruption behaves like loss, the
+    client's retransmission logic recovers, and a damaged frame can never
+    yield a bogus trace context. *)
+
+type trace_ctx = { trace_id : int; span_id : int }
+(** In-band trace context carried in the frame trailer so a trace follows
+    a capsule across hops.  Both ids are truncated to 32 bits on the
+    wire. *)
 
 val checksum : Bytes.t -> int
 (** RFC 1071-style 16-bit one's-complement sum of the bytes. *)
 
-val frame : Bytes.t -> Bytes.t
-(** Append the 2-byte checksum trailer. *)
+val frame : ?trace:trace_ctx -> Bytes.t -> Bytes.t
+(** Append the trailer: optional 8-byte trace extension, flags byte, and
+    2-byte checksum (3 bytes without a trace, 11 with one). *)
 
 val unframe : Bytes.t -> (Bytes.t, string) result
-(** Verify and strip the trailer; [Error] describes the mismatch. *)
+(** Verify and strip the trailer, discarding any trace extension;
+    [Error] describes the mismatch. *)
+
+val unframe_traced : Bytes.t -> (Bytes.t * trace_ctx option, string) result
+(** Like {!unframe} but also returns the trace context when the frame
+    carries one.  The checksum is verified before the extension is
+    decoded, so corrupt frames never produce a context. *)

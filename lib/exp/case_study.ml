@@ -113,11 +113,9 @@ let make_world ?(policy = Mutant.Most_constrained) cfg params ~duration =
     | None -> ()
     | Some rank ->
       Fabric.send fabric
-        {
-          Fabric.src = server;
+        { Fabric.src = server;
           dst = src;
-          payload = Fabric.Kv_reply { key; value = Kv.value_of_rank rank };
-        }
+          payload = Fabric.Kv_reply { key; value = Kv.value_of_rank rank }; trace = None }
   in
   Fabric.attach fabric server (fun msg ->
       match msg.Fabric.payload with
@@ -148,7 +146,7 @@ let record w t ~hit =
 
 let send_active w t ~fid pkt =
   Fabric.send w.fabric
-    { Fabric.src = t.t_addr; dst = w.server; payload = Fabric.Active pkt };
+    { Fabric.src = t.t_addr; dst = w.server; payload = Fabric.Active pkt; trace = None };
   ignore fid
 
 (* -- object request loop ------------------------------------------------ *)
@@ -160,7 +158,7 @@ let send_request w t =
   match t.t_mode with
   | Plain ->
     Fabric.send w.fabric
-      { Fabric.src = t.t_addr; dst = w.server; payload = Fabric.Kv_request { key } }
+      { Fabric.src = t.t_addr; dst = w.server; payload = Fabric.Kv_request { key }; trace = None }
   | Monitor -> (
     match t.t_hh with
     | Some hh ->

@@ -75,11 +75,12 @@ let kind_of i =
 
 let expected_word ~fid index = (fid * 1000) + index
 
-let run ?(telemetry = Telemetry.default) cfg =
+let run ?(telemetry = Telemetry.default) ?(tracer = Trace.noop) cfg =
   if cfg.services <= 0 then invalid_arg "Chaos.run: services must be positive";
   if cfg.words <= 0 then invalid_arg "Chaos.run: words must be positive";
   if cfg.horizon_s <= 0.0 then invalid_arg "Chaos.run: horizon must be positive";
   let engine = Engine.create ~telemetry () in
+  if Trace.enabled tracer then Trace.set_clock tracer (fun () -> Engine.now engine);
   let controller =
     let device = Rmt.Device.create Rmt.Params.default in
     let cost =
@@ -89,23 +90,37 @@ let run ?(telemetry = Telemetry.default) cfg =
              ~slowdown:cfg.profile.Faults.table_update_slowdown)
       else None
     in
-    Controller.create ?cost ~mode:`Auto ~telemetry device
+    Controller.create ?cost ~mode:`Auto ~telemetry ~tracer device
   in
   let faults = Faults.create ~seed:cfg.seed ~telemetry cfg.profile in
-  let fabric = Fabric.create ~faults ~telemetry ~engine ~controller () in
+  let fabric = Fabric.create ~faults ~telemetry ~tracer ~engine ~controller () in
   let sink = 200 in
   Fabric.attach fabric sink (fun _ -> ());
   let backoff =
     if cfg.retries then Negotiate.default_backoff else Negotiate.no_retry
   in
   let fallback_words = ref 0 in
+  (* Capsules carry their protocol session's trace context, so fabric
+     hops and fault verdicts chain under the [negotiate.session] /
+     [memsync.sync] roots; [inject] head-samples any capsule that does
+     not already belong to a trace. *)
   let nego_send svc pkt =
-    Fabric.send fabric
-      { Fabric.src = svc.addr; dst = Fabric.switch_address; payload = Fabric.Active pkt }
+    Fabric.inject fabric
+      {
+        Fabric.src = svc.addr;
+        dst = Fabric.switch_address;
+        payload = Fabric.Active pkt;
+        trace = Negotiate.trace svc.session;
+      }
   in
   let sync_send svc ~seq:_ pkt =
-    Fabric.send fabric
-      { Fabric.src = svc.addr; dst = sink; payload = Fabric.Active pkt }
+    Fabric.inject fabric
+      {
+        Fabric.src = svc.addr;
+        dst = sink;
+        payload = Fabric.Active pkt;
+        trace = Option.bind svc.driver Memsync_driver.trace;
+      }
   in
   let fall_back svc driver =
     let survivors = Memsync_driver.unacked driver in
@@ -150,12 +165,12 @@ let run ?(telemetry = Telemetry.default) cfg =
           if cfg.retries then
             Memsync_driver.create ~multiplier:2.0 ~max_timeout_s:0.32
               ~jitter:0.1 ~max_attempts:16
-              ~seed:(cfg.seed lxor 0x5ca1ab1e) ~fid:svc.fid
+              ~seed:(cfg.seed lxor 0x5ca1ab1e) ~tracer ~fid:svc.fid
               ~stages:[ !stage ] ~count:cfg.words ~timeout_s:0.02
               (Memsync_driver.Write
                  (fun index -> [ expected_word ~fid:svc.fid index ]))
           else
-            Memsync_driver.create ~max_attempts:1 ~fid:svc.fid
+            Memsync_driver.create ~max_attempts:1 ~tracer ~fid:svc.fid
               ~stages:[ !stage ] ~count:cfg.words ~timeout_s:0.02
               (Memsync_driver.Write
                  (fun index -> [ expected_word ~fid:svc.fid index ]))
@@ -188,7 +203,7 @@ let run ?(telemetry = Telemetry.default) cfg =
           fid;
           addr = 100 + fid;
           session =
-            Negotiate.session ~backoff ~seed:cfg.seed ~fid
+            Negotiate.session ~backoff ~seed:cfg.seed ~tracer ~fid
               (Harness.app_of_kind (kind_of i));
           state = Negotiating;
           stage = -1;

@@ -51,7 +51,17 @@ type result = {
   faults : Netsim.Faults.t;  (** for dumping the event trace *)
 }
 
-val run : ?telemetry:Activermt_telemetry.Telemetry.t -> config -> result
+val run :
+  ?telemetry:Activermt_telemetry.Telemetry.t ->
+  ?tracer:Activermt_telemetry.Trace.t ->
+  config ->
+  result
 (** Also sets the [chaos.completion] gauge and [chaos.fallback_words] /
     [chaos.negotiation_timeouts] counters on [telemetry].
+
+    [tracer] (default [Trace.noop]) records causal traces: each service's
+    [negotiate.session] and [memsync.sync] roots, with every capsule's
+    fabric hops, fault verdicts and controller provisioning chained
+    underneath (the tracer's clock is wired to the engine, so trace time
+    is simulated time).
     @raise Invalid_argument on non-positive sizes. *)

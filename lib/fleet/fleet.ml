@@ -21,6 +21,7 @@ type t = {
   shims : (int, Shim.t) Hashtbl.t;
   memsync_word_budget : int;
   tel : Telemetry.t;
+  tracer : Trace.t;
 }
 
 let sw_counter i name = Printf.sprintf "fleet.sw.%d.%s" i name
@@ -44,19 +45,49 @@ let update_occupancy t =
    the neighbour fabric (whose own switch processing applies — transit
    switches forward FIDs they don't host as plain traffic). *)
 let route t ~from msg =
+  let unroutable () =
+    Telemetry.incr t.tel "fleet.unroutable";
+    match msg.Fabric.trace with
+    | Some ctx when Trace.enabled t.tracer ->
+      ignore
+        (Trace.instant t.tracer ctx
+           ~attrs:
+             [
+               ("cause", "unroutable");
+               ("switch", string_of_int from);
+               ("dst", string_of_int msg.Fabric.dst);
+             ]
+           "fault.drop")
+    | Some _ | None -> ()
+  in
   let target =
     if msg.Fabric.dst < Array.length t.nodes then Some msg.Fabric.dst
     else Topology.home_of t.topo ~client:msg.Fabric.dst
   in
   match target with
-  | None -> Telemetry.incr t.tel "fleet.unroutable"
+  | None -> unroutable ()
   | Some target -> (
     match Topology.next_hop t.topo ~src:from ~dst:target with
-    | None -> Telemetry.incr t.tel "fleet.unroutable"
+    | None -> unroutable ()
     | Some hop ->
-      if t.down.(hop) then Telemetry.incr t.tel "fleet.unroutable"
+      if t.down.(hop) then unroutable ()
       else begin
         Telemetry.incr t.tel "fleet.bridged";
+        let msg =
+          match msg.Fabric.trace with
+          | Some ctx when Trace.enabled t.tracer ->
+            let child =
+              Trace.instant t.tracer ctx
+                ~attrs:
+                  [
+                    ("switch", string_of_int from);
+                    ("link", Printf.sprintf "%d->%d" from hop);
+                  ]
+                "fleet.bridge"
+            in
+            { msg with Fabric.trace = Some child }
+          | Some _ | None -> msg
+        in
         Engine.schedule t.engine
           ~delay:(Topology.latency t.topo ~src:from ~dst:hop)
           (fun () -> Fabric.send t.nodes.(hop).fabric msg)
@@ -64,7 +95,8 @@ let route t ~from msg =
 
 let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.default)
     ?wire_latency_s ?(memsync_word_budget = 4096) ?faults
-    ?(faults_seed = 0xF1EE7) ?(telemetry = Telemetry.default) topo =
+    ?(faults_seed = 0xF1EE7) ?(telemetry = Telemetry.default)
+    ?(tracer = Trace.noop) topo =
   if memsync_word_budget < 0 then
     invalid_arg "Fleet.create: memsync_word_budget must be non-negative";
   let faults =
@@ -74,6 +106,7 @@ let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.defa
   in
   let n = Topology.switches topo in
   let engine = Engine.create ~telemetry () in
+  if Trace.enabled tracer then Trace.set_clock tracer (fun () -> Engine.now engine);
   let nodes =
     Array.init n (fun sw ->
         let device = Rmt.Device.create params in
@@ -94,11 +127,12 @@ let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.defa
               else None)
         in
         let controller =
-          Controller.create ?scheme ?cost ~mode:`Auto ~telemetry:telemetry device
+          Controller.create ?scheme ?cost ~mode:`Auto ~telemetry:telemetry
+            ~tracer device
         in
         let fabric =
           Fabric.create ~address:sw ?wire_latency_s ?faults:node_faults
-            ~telemetry ~engine ~controller ()
+            ~telemetry ~tracer ~engine ~controller ()
         in
         { sw; controller; fabric; faults = node_faults })
   in
@@ -115,6 +149,7 @@ let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.defa
       shims = Hashtbl.create 64;
       memsync_word_budget;
       tel = telemetry;
+      tracer;
     }
   in
   (* Every fabric learns to bridge the other switches' addresses. *)
@@ -132,6 +167,7 @@ let n_switches t = Array.length t.nodes
 let topology t = t.topo
 let policy t = t.policy
 let engine t = t.engine
+let tracer t = t.tracer
 
 let node t ~sw =
   if sw < 0 || sw >= Array.length t.nodes then
@@ -172,7 +208,7 @@ let attach_client t ~client ~home handler =
 let inject t ~client msg =
   match Topology.home_of t.topo ~client with
   | None -> invalid_arg "Fleet.inject: unknown client"
-  | Some home -> Fabric.send t.nodes.(home).fabric msg
+  | Some home -> Fabric.inject t.nodes.(home).fabric msg
 
 let shim_step t ~fid ev =
   match Hashtbl.find_opt t.shims fid with
@@ -180,9 +216,9 @@ let shim_step t ~fid ev =
   | Some shim -> ignore (Shim.transition shim ev)
 
 (* Try the service at one specific switch's controller; true on commit. *)
-let admit_at t ~sw ~fid app =
+let admit_at ?trace t ~sw ~fid app =
   let request = Negotiate.request_packet ~fid ~seq:0 app in
-  match Controller.handle_request t.nodes.(sw).controller request with
+  match Controller.handle_request ?trace t.nodes.(sw).controller request with
   | Ok _provision -> true
   | Error (`Rejected _) | Error (`Bad_packet _) -> false
 
@@ -197,14 +233,33 @@ let admit t ?client ~fid app =
   if Hashtbl.mem t.residency fid then
     invalid_arg (Printf.sprintf "Fleet.admit: fid %d already placed" fid);
   Telemetry.with_span t.tel "fleet.place" @@ fun () ->
+  let root =
+    Trace.start_trace t.tracer ~attrs:[ ("fid", string_of_int fid) ]
+      "fleet.admit"
+  in
   let home = Option.bind client (fun c -> Topology.home_of t.topo ~client:c) in
   let candidates = Placement.order t.policy ~home (loads t) in
   let rec go tried = function
     | [] ->
       Telemetry.incr t.tel "fleet.rejected";
+      (match root with
+      | Some ctx ->
+        ignore
+          (Trace.instant t.tracer ctx
+             ~attrs:[ ("tried", string_of_int tried) ]
+             "fleet.rejected")
+      | None -> ());
       Error `No_capacity
     | sw :: rest ->
-      if admit_at t ~sw ~fid app then begin
+      let trace =
+        Option.map
+          (fun ctx ->
+            Trace.instant t.tracer ctx
+              ~attrs:[ ("switch", string_of_int sw) ]
+              "fleet.try")
+          root
+      in
+      if admit_at ?trace t ~sw ~fid app then begin
         Hashtbl.replace t.apps fid app;
         (match client with
         | Some c -> Hashtbl.replace t.clients fid c
@@ -217,6 +272,17 @@ let admit t ?client ~fid app =
         Telemetry.incr t.tel "fleet.admitted";
         Telemetry.incr t.tel (sw_counter sw "admitted");
         if tried > 0 then Telemetry.incr t.tel "fleet.spillover";
+        (match trace with
+        | Some ctx ->
+          ignore
+            (Trace.instant t.tracer ctx
+               ~attrs:
+                 [
+                   ("switch", string_of_int sw);
+                   ("spillover", string_of_bool (tried > 0));
+                 ]
+               "fleet.placed")
+        | None -> ());
         Ok sw
       end
       else go (tried + 1) rest
@@ -405,33 +471,61 @@ let migrate t ~fid ~dst =
     else if src = dst then Ok ()
     else
       Telemetry.with_span t.tel "fleet.migrate" @@ fun () ->
+      let root =
+        Trace.start_trace t.tracer
+          ~attrs:
+            [
+              ("fid", string_of_int fid);
+              ("src", string_of_int src);
+              ("dst", string_of_int dst);
+            ]
+          "fleet.migrate"
+      in
       let app = Hashtbl.find t.apps fid in
       shim_step t ~fid Shim.Realloc_notified;
-      let state = extract_state t t.nodes.(src) ~fid ~data_plane:(not t.down.(src)) in
+      let state =
+        Trace.with_span t.tracer root
+          ~attrs:[ ("switch", string_of_int src) ]
+          "fleet.drain"
+        @@ fun _ ->
+        extract_state t t.nodes.(src) ~fid ~data_plane:(not t.down.(src))
+      in
       if not t.down.(src) then
-        ignore (Controller.handle_departure t.nodes.(src).controller ~fid);
+        ignore (Controller.handle_departure ?trace:root t.nodes.(src).controller ~fid);
       Hashtbl.remove t.residency fid;
-      if admit_at t ~sw:dst ~fid app then begin
-        inject_state t t.nodes.(dst) ~fid state;
+      let outcome oc attrs =
+        match root with
+        | Some ctx -> ignore (Trace.instant t.tracer ctx ~attrs oc)
+        | None -> ()
+      in
+      if admit_at ?trace:root t ~sw:dst ~fid app then begin
+        Trace.with_span t.tracer root
+          ~attrs:[ ("switch", string_of_int dst) ]
+          "fleet.repopulate"
+        (fun _ -> inject_state t t.nodes.(dst) ~fid state);
         bind_placement t ~fid ~sw:dst;
         shim_step t ~fid Shim.Extraction_done;
         Telemetry.incr t.tel "fleet.migrated";
         Telemetry.incr t.tel (sw_counter src "out");
         Telemetry.incr t.tel (sw_counter dst "in");
+        outcome "fleet.migrated" [ ("switch", string_of_int dst) ];
         Ok ()
       end
-      else if (not t.down.(src)) && admit_at t ~sw:src ~fid app then begin
+      else if (not t.down.(src)) && admit_at ?trace:root t ~sw:src ~fid app
+      then begin
         (* Destination refused: restore at the source, state intact. *)
         inject_state t t.nodes.(src) ~fid state;
         bind_placement t ~fid ~sw:src;
         shim_step t ~fid Shim.Extraction_done;
         Telemetry.incr t.tel "fleet.migrate_refused";
+        outcome "fleet.migrate_refused" [ ("switch", string_of_int src) ];
         Error `Refused
       end
       else begin
         forget t ~fid;
         Telemetry.incr t.tel "fleet.lost";
         update_occupancy t;
+        outcome "fleet.lost" [];
         Error `Lost
       end
 
@@ -459,6 +553,15 @@ let fail_switch t ~sw =
     Telemetry.set_gauge t.tel (sw_counter sw "up") 0.0;
     Telemetry.incr t.tel "fleet.failures";
     let evacuees = residents_of t ~sw in
+    let root =
+      Trace.start_trace t.tracer
+        ~attrs:
+          [
+            ("switch", string_of_int sw);
+            ("residents", string_of_int (List.length evacuees));
+          ]
+        "fleet.failover"
+    in
     (* Snapshot every resident's state from the frozen pool before any
        cleanup: departures trigger elastic expansion among the remaining
        residents, which must not perturb what we recover.  The data
@@ -478,6 +581,14 @@ let fail_switch t ~sw =
     List.iter
       (fun (fid, state) ->
         let app = Hashtbl.find t.apps fid in
+        let trace =
+          Option.map
+            (fun ctx ->
+              Trace.instant t.tracer ctx
+                ~attrs:[ ("fid", string_of_int fid) ]
+                "fleet.evacuate")
+            root
+        in
         let home =
           Option.bind (Hashtbl.find_opt t.clients fid) (fun c ->
               Topology.home_of t.topo ~client:c)
@@ -487,9 +598,12 @@ let fail_switch t ~sw =
           | [] ->
             forget t ~fid;
             Telemetry.incr t.tel "fleet.lost";
+            (match trace with
+            | Some ctx -> ignore (Trace.instant t.tracer ctx "fleet.lost")
+            | None -> ());
             lost := fid :: !lost
           | dst :: rest ->
-            if admit_at t ~sw:dst ~fid app then begin
+            if admit_at ?trace t ~sw:dst ~fid app then begin
               inject_state t t.nodes.(dst) ~fid state;
               bind_placement t ~fid ~sw:dst;
               shim_step t ~fid Shim.Realloc_notified;
@@ -497,6 +611,13 @@ let fail_switch t ~sw =
               Telemetry.incr t.tel "fleet.migrated";
               Telemetry.incr t.tel (sw_counter sw "out");
               Telemetry.incr t.tel (sw_counter dst "in");
+              (match trace with
+              | Some ctx ->
+                ignore
+                  (Trace.instant t.tracer ctx
+                     ~attrs:[ ("switch", string_of_int dst) ]
+                     "fleet.relocated")
+              | None -> ());
               relocated := (fid, dst) :: !relocated
             end
             else go rest

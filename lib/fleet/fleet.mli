@@ -31,6 +31,7 @@ val create :
   ?faults:Netsim.Faults.profile ->
   ?faults_seed:int ->
   ?telemetry:Telemetry.t ->
+  ?tracer:Trace.t ->
   Topology.t ->
   t
 (** Defaults: [Least_loaded] placement, the allocator's default scheme,
@@ -61,7 +62,20 @@ val create :
     [fleet.unroutable], per-switch [fleet.sw.<i>.admitted/in/out]),
     spans ([fleet.place], [fleet.migrate]) and occupancy gauges
     ([fleet.occupancy], [fleet.sw.<i>.utilization],
-    [fleet.sw.<i>.up]). *)
+    [fleet.sw.<i>.up]).
+
+    [tracer] (default {!Trace.noop}) is shared with every switch's
+    controller and fabric, and its clock is wired to the fleet engine so
+    trace time is simulated time.  Capsules injected via {!inject} are
+    head-sampled once; their traces then follow the capsule across
+    bridges ([fleet.bridge] events name each inter-switch [link]).
+    Fleet-level operations start their own traces: [fleet.admit] (with
+    [fleet.try]/[fleet.placed]/[fleet.rejected] children hanging the
+    [control.provision] span of each attempt), [fleet.migrate] (with
+    [fleet.drain]/[fleet.repopulate] spans and a terminal
+    [fleet.migrated]/[fleet.migrate_refused]/[fleet.lost] event) and
+    [fleet.failover] (per-evacuee [fleet.evacuate] →
+    [fleet.relocated]/[fleet.lost]). *)
 
 (** {1 Structure} *)
 
@@ -69,6 +83,10 @@ val n_switches : t -> int
 val topology : t -> Topology.t
 val policy : t -> Placement.policy
 val engine : t -> Engine.t
+
+val tracer : t -> Trace.t
+(** The tracer passed at {!create} ({!Trace.noop} by default). *)
+
 val controller : t -> sw:Topology.switch_id -> Controller.t
 val fabric : t -> sw:Topology.switch_id -> Fabric.t
 val is_up : t -> sw:Topology.switch_id -> bool

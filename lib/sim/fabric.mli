@@ -28,7 +28,22 @@ type payload =
       (** controller -> client: your allocation is changing; extract state
           and ack *)
 
-type msg = { src : address; dst : address; payload : payload }
+type msg = {
+  src : address;
+  dst : address;
+  payload : payload;
+  trace : Activermt_telemetry.Trace.ctx option;
+      (** in-band trace context: set at {!inject} (head sampling), then
+          advanced hop by hop so the trace follows the capsule *)
+}
+
+val msg :
+  ?trace:Activermt_telemetry.Trace.ctx ->
+  src:address ->
+  dst:address ->
+  payload ->
+  msg
+(** Convenience constructor; [trace] defaults to [None]. *)
 
 type t
 
@@ -39,6 +54,7 @@ val create :
   ?loss_seed:int ->
   ?faults:Faults.t ->
   ?telemetry:Activermt_telemetry.Telemetry.t ->
+  ?tracer:Activermt_telemetry.Trace.t ->
   engine:Engine.t ->
   controller:Activermt_control.Controller.t ->
   unit ->
@@ -63,10 +79,22 @@ val create :
 
     [telemetry] (default [Telemetry.default]) counts fabric traffic:
     [sim.packets.sent/delivered/lost/dropped] plus per-node
-    [sim.node.<addr>.tx]/[sim.node.<addr>.rx]. *)
+    [sim.node.<addr>.tx]/[sim.node.<addr>.rx].
+
+    [tracer] (default [Trace.noop]) records per-capsule causal events:
+    [capsule.inject], [sim.hop]/[sim.deliver] ([sim.enqueue] at Stages
+    verbosity), [fault.drop]/[fault.corrupt]/[fault.duplicate] with the
+    firing knob as [cause] and the [link] named, [device.exec] spans with
+    [device.stage]/[device.result]/[device.drop] children linked to the
+    admitting [control.provision] span via [admit.*] attrs.  Share one
+    tracer (and its clock, wired to [Engine.now]) across every fabric of
+    a fleet so traces follow capsules between switches. *)
 
 val engine : t -> Engine.t
 val controller : t -> Activermt_control.Controller.t
+
+val tracer : t -> Activermt_telemetry.Trace.t
+(** The tracer passed at creation ([Trace.noop] by default). *)
 
 val faults : t -> Faults.t option
 (** The fault model attached at creation, if any (and not all-off). *)
@@ -81,8 +109,16 @@ val attach : t -> address -> (msg -> unit) -> unit
 val register_fid : t -> fid:Activermt.Packet.fid -> owner:address -> unit
 
 val send : t -> msg -> unit
-(** Inject a message at its source; it reaches the switch after the wire
-    latency and its destination after switch processing. *)
+(** Forward a message from its source; it reaches the switch after the
+    wire latency and its destination after switch processing.  Keeps the
+    message's trace context as-is — use {!inject} at the point a capsule
+    first enters the network so head sampling runs exactly once. *)
+
+val inject : ?name:string -> t -> msg -> unit
+(** {!send}, but first make the head-sampling decision for an untraced
+    [Active] message: when the tracer keeps it, a root [name] event
+    (default ["capsule.inject"]) starts the capsule's trace.  Bridged or
+    re-sent messages keep their existing decision. *)
 
 val stats_drops : t -> int
 (** Packets the runtime dropped (protection, recirculation limit, DROP). *)

@@ -105,9 +105,14 @@ let link_down t ~now =
   && t.profile.flap_down_s > 0.0
   && Float.rem now t.profile.flap_period_s < t.profile.flap_down_s
 
-type verdict = { lose : bool; corrupt : bool; copies : int }
+type verdict = {
+  lose : bool;
+  corrupt : bool;
+  copies : int;
+  cause : kind option;
+}
 
-let pass = { lose = false; corrupt = false; copies = 1 }
+let pass = { lose = false; corrupt = false; copies = 1; cause = None }
 
 (* One fixed draw per probabilistic knob, whether or not it fires, so the
    PRNG stream position depends only on how many packets crossed the
@@ -118,19 +123,19 @@ let plan t ~now =
   let u_dup = Stdx.Prng.float t.rng 1.0 in
   if link_down t ~now then begin
     record t ~now Flap;
-    { pass with lose = true }
+    { pass with lose = true; cause = Some Flap }
   end
   else if u_drop < t.profile.drop then begin
     record t ~now Drop;
-    { pass with lose = true }
+    { pass with lose = true; cause = Some Drop }
   end
   else if u_corrupt < t.profile.corrupt then begin
     record t ~now Corrupt;
-    { pass with corrupt = true }
+    { pass with corrupt = true; cause = Some Corrupt }
   end
   else if u_dup < t.profile.duplicate then begin
     record t ~now Duplicate;
-    { pass with copies = 2 }
+    { pass with copies = 2; cause = Some Duplicate }
   end
   else pass
 

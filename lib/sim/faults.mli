@@ -83,7 +83,12 @@ val events : t -> event list
 
 (** {2 Decisions (called by the fabric per delivery)} *)
 
-type verdict = { lose : bool; corrupt : bool; copies : int }
+type verdict = {
+  lose : bool;
+  corrupt : bool;
+  copies : int;
+  cause : kind option;  (** Which knob fired, for trace attribution. *)
+}
 
 val pass : verdict
 (** Deliver one intact copy. *)

@@ -94,6 +94,19 @@ val dump_json : t -> string
 
 val dump_prometheus : t -> string
 (** Prometheus text exposition: counters, gauges, summaries with
-    p50/p90/p99 quantiles (dots in names become underscores). *)
+    p50/p90/p99 quantiles.  Names are sanitized to the exposition
+    format's charset ([[a-zA-Z_:][a-zA-Z0-9_:]*]) and label values have
+    backslash, double-quote and newline escaped, so the output is
+    well-formed promtext for any registry key. *)
+
+val prom_name : string -> string
+(** The metric-name sanitizer {!dump_prometheus} uses: every character
+    outside [[a-zA-Z0-9_:]] collapses to ['_'] and a leading digit gets a
+    ['_'] prefix. *)
+
+val prom_escape_label : string -> string
+(** The label-value escaper {!dump_prometheus} uses: backslash,
+    double-quote and newline each gain a leading backslash (newline
+    becomes the two characters backslash-n). *)
 
 val write_json : t -> path:string -> unit

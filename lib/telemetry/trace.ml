@@ -1,0 +1,337 @@
+type ctx = { trace_id : int; span_id : int }
+
+type event = {
+  trace_id : int;
+  span_id : int;
+  parent_span_id : int;
+  t_start : float;
+  t_end : float;
+  name : string;
+  attrs : (string * string) list;
+}
+
+type verbosity = Spans | Stages
+
+(* Each writing domain appends to its own shard (no contention); a global
+   atomic sequence number gives the merged view a total emission order. *)
+type shard = { mutable items : (int * event) array; mutable len : int }
+
+type t = {
+  on : bool;
+  capacity : int;
+  sample : float;
+  rng : Stdx.Prng.t;
+  rng_lock : Mutex.t;
+  verb : verbosity;
+  mutable clock : unit -> float;
+  shards : shard Stdx.Sharded.t;
+  next_trace : int Atomic.t;
+  next_span : int Atomic.t;
+  next_seq : int Atomic.t;
+  n_evicted : int Atomic.t;
+}
+
+let mk ~on ~capacity ~sample ~seed ~verb =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    on;
+    capacity;
+    sample;
+    rng = Stdx.Prng.create ~seed;
+    rng_lock = Mutex.create ();
+    verb;
+    clock = (fun () -> 0.0);
+    shards = Stdx.Sharded.create ~init:(fun () -> { items = [||]; len = 0 }) ();
+    next_trace = Atomic.make 1;
+    next_span = Atomic.make 1;
+    next_seq = Atomic.make 0;
+    n_evicted = Atomic.make 0;
+  }
+
+let create ?(capacity = 65536) ?(sample = 1.0) ?(seed = 0x7ace)
+    ?(verbosity = Spans) () =
+  mk ~on:true ~capacity ~sample ~seed ~verb:verbosity
+
+let noop = mk ~on:false ~capacity:1 ~sample:0.0 ~seed:0 ~verb:Spans
+let enabled t = t.on
+let verbosity t = t.verb
+let stage_detail t = t.on && t.verb = Stages
+let set_clock t f = t.clock <- f
+let now t = t.clock ()
+
+(* Oldest-trace eviction: drop every event of the smallest trace id until
+   at least 1/8 of the shard is free again, so eviction work amortizes.
+   Trace ids grow monotonically, so the smallest id is the oldest trace. *)
+let evict t sh =
+  let target = t.capacity - max 1 (t.capacity / 8) in
+  while sh.len > target do
+    let oldest = ref max_int in
+    for i = 0 to sh.len - 1 do
+      let _, ev = sh.items.(i) in
+      if ev.trace_id < !oldest then oldest := ev.trace_id
+    done;
+    let j = ref 0 in
+    for i = 0 to sh.len - 1 do
+      let (_, ev) as it = sh.items.(i) in
+      if ev.trace_id <> !oldest then begin
+        sh.items.(!j) <- it;
+        incr j
+      end
+    done;
+    ignore (Atomic.fetch_and_add t.n_evicted (sh.len - !j));
+    sh.len <- !j
+  done
+
+let emit t ev =
+  if t.on then begin
+    let seq = Atomic.fetch_and_add t.next_seq 1 in
+    let sh = Stdx.Sharded.get t.shards in
+    if sh.len >= t.capacity then evict t sh;
+    if sh.len = Array.length sh.items then begin
+      let cap = max 64 (2 * Array.length sh.items) in
+      let items = Array.make (min cap t.capacity) (seq, ev) in
+      Array.blit sh.items 0 items 0 sh.len;
+      sh.items <- items
+    end;
+    sh.items.(sh.len) <- (seq, ev);
+    sh.len <- sh.len + 1
+  end
+
+let fresh_span t = Atomic.fetch_and_add t.next_span 1
+
+let start_trace t ?(attrs = []) name =
+  if not t.on then None
+  else begin
+    let keep =
+      if t.sample >= 1.0 then true
+      else if t.sample <= 0.0 then false
+      else begin
+        Mutex.lock t.rng_lock;
+        let u = Stdx.Prng.float t.rng 1.0 in
+        Mutex.unlock t.rng_lock;
+        u < t.sample
+      end
+    in
+    if not keep then None
+    else begin
+      let trace_id = Atomic.fetch_and_add t.next_trace 1 in
+      let span_id = fresh_span t in
+      let now = t.clock () in
+      emit t
+        { trace_id; span_id; parent_span_id = 0; t_start = now; t_end = now;
+          name; attrs };
+      Some ({ trace_id; span_id } : ctx)
+    end
+  end
+
+let span t (ctx : ctx) ?(attrs = []) ~t_start ~t_end name =
+  if not t.on then ctx
+  else begin
+    let span_id = fresh_span t in
+    emit t
+      { trace_id = ctx.trace_id; span_id; parent_span_id = ctx.span_id;
+        t_start; t_end; name; attrs };
+    ({ trace_id = ctx.trace_id; span_id } : ctx)
+  end
+
+let instant t ctx ?attrs name =
+  let now = t.clock () in
+  span t ctx ?attrs ~t_start:now ~t_end:now name
+
+let with_span t (ctx : ctx option) ?attrs name f =
+  match ctx with
+  | None -> f None
+  | Some _ when not t.on -> f None
+  | Some c ->
+    let span_id = fresh_span t in
+    let t0 = t.clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        let attrs = match attrs with None -> [] | Some a -> a in
+        emit t
+          { trace_id = c.trace_id; span_id; parent_span_id = c.span_id;
+            t_start = t0; t_end = t.clock (); name; attrs })
+      (fun () -> f (Some ({ trace_id = c.trace_id; span_id } : ctx)))
+
+let length t =
+  Stdx.Sharded.fold t.shards ~init:0 ~f:(fun acc sh -> acc + sh.len)
+
+let evicted t = Atomic.get t.n_evicted
+
+let reset t =
+  Stdx.Sharded.iter t.shards ~f:(fun sh ->
+      sh.items <- [||];
+      sh.len <- 0);
+  Atomic.set t.n_evicted 0
+
+(* Merged view: total order by sequence number, then the same oldest-trace
+   eviction applied globally so the export is capped at [capacity] no
+   matter how many shards wrote. *)
+let events t =
+  let all =
+    Stdx.Sharded.fold t.shards ~init:[] ~f:(fun acc sh ->
+        let rec take i acc =
+          if i < 0 then acc else take (i - 1) (sh.items.(i) :: acc)
+        in
+        take (sh.len - 1) acc)
+  in
+  let all = List.sort (fun (a, _) (b, _) -> compare a b) all in
+  let n = List.length all in
+  if n <= t.capacity then List.map snd all
+  else begin
+    let per_trace = Hashtbl.create 64 in
+    List.iter
+      (fun (_, ev) ->
+        let c =
+          match Hashtbl.find_opt per_trace ev.trace_id with
+          | Some c -> c
+          | None -> 0
+        in
+        Hashtbl.replace per_trace ev.trace_id (c + 1))
+      all;
+    let ids =
+      Hashtbl.fold (fun id c acc -> (id, c) :: acc) per_trace []
+      |> List.sort compare
+    in
+    let drop = Hashtbl.create 16 in
+    let excess = ref (n - t.capacity) in
+    List.iter
+      (fun (id, c) ->
+        if !excess > 0 then begin
+          Hashtbl.replace drop id ();
+          excess := !excess - c
+        end)
+      ids;
+    List.filter_map
+      (fun (_, ev) ->
+        if Hashtbl.mem drop ev.trace_id then None else Some ev)
+      all
+  end
+
+(* ---- Exporters ---- *)
+
+let pid_of ev =
+  match List.assoc_opt "switch" ev.attrs with
+  | Some s -> ( match int_of_string_opt s with Some i -> i | None -> 0)
+  | None -> 0
+
+let chrome_json t =
+  let evs = events t in
+  let pids =
+    List.sort_uniq compare (List.map pid_of evs)
+  in
+  let meta =
+    List.map
+      (fun p ->
+        Json.Obj
+          [
+            ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Num (float_of_int p));
+            ("tid", Json.Num 0.0);
+            ( "args",
+              Json.Obj
+                [
+                  ( "name",
+                    Json.Str
+                      (if p = 0 then "host" else Printf.sprintf "switch %d" p)
+                  );
+                ] );
+          ])
+      pids
+  in
+  let ev_json ev =
+    Json.Obj
+      [
+        ("name", Json.Str ev.name);
+        ("cat", Json.Str "activermt");
+        ("ph", Json.Str "X");
+        ("ts", Json.Num (ev.t_start *. 1e6));
+        ("dur", Json.Num ((ev.t_end -. ev.t_start) *. 1e6));
+        ("pid", Json.Num (float_of_int (pid_of ev)));
+        ("tid", Json.Num (float_of_int ev.trace_id));
+        ( "args",
+          Json.Obj
+            (("trace_id", Json.Num (float_of_int ev.trace_id))
+            :: ("span_id", Json.Num (float_of_int ev.span_id))
+            :: ("parent_span_id", Json.Num (float_of_int ev.parent_span_id))
+            :: List.map (fun (k, v) -> (k, Json.Str v)) ev.attrs) );
+      ]
+  in
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.Str "ms");
+      ("traceEvents", Json.Arr (meta @ List.map ev_json evs));
+    ]
+
+let dump_chrome t = Json.to_string ~pretty:true (chrome_json t)
+
+let write_chrome t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (dump_chrome t);
+      output_char oc '\n')
+
+let render_tree evs =
+  let buf = Buffer.create 1024 in
+  (* Group by trace in first-appearance order. *)
+  let order = ref [] in
+  let by_trace = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match Hashtbl.find_opt by_trace ev.trace_id with
+      | Some l -> l := ev :: !l
+      | None ->
+        Hashtbl.add by_trace ev.trace_id (ref [ ev ]);
+        order := ev.trace_id :: !order)
+    evs;
+  List.iter
+    (fun tid ->
+      let evs = List.rev !(Hashtbl.find by_trace tid) in
+      let present = Hashtbl.create 16 in
+      List.iter (fun ev -> Hashtbl.replace present ev.span_id ()) evs;
+      let children = Hashtbl.create 16 in
+      let roots = ref [] in
+      List.iter
+        (fun ev ->
+          if ev.parent_span_id <> 0 && Hashtbl.mem present ev.parent_span_id
+          then begin
+            let l =
+              match Hashtbl.find_opt children ev.parent_span_id with
+              | Some l -> l
+              | None ->
+                let l = ref [] in
+                Hashtbl.add children ev.parent_span_id l;
+                l
+            in
+            l := ev :: !l
+          end
+          else roots := ev :: !roots)
+        evs;
+      Buffer.add_string buf
+        (Printf.sprintf "trace %d — %d events\n" tid (List.length evs));
+      let line indent ev =
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_string buf ev.name;
+        Buffer.add_string buf (Printf.sprintf " @%.6f" ev.t_start);
+        if ev.t_end > ev.t_start then
+          Buffer.add_string buf
+            (Printf.sprintf " +%.6f" (ev.t_end -. ev.t_start));
+        List.iter
+          (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%s" k v))
+          ev.attrs;
+        Buffer.add_char buf '\n'
+      in
+      let rec walk indent ev =
+        line indent ev;
+        match Hashtbl.find_opt children ev.span_id with
+        | None -> ()
+        | Some l -> List.iter (walk (indent + 2)) (List.rev !l)
+      in
+      List.iter (walk 2) (List.rev !roots))
+    (List.rev !order);
+  Buffer.contents buf
+
+let dump_text t = render_tree (events t)

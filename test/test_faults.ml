@@ -18,6 +18,7 @@ module Memsync_driver = Activermt_client.Memsync_driver
 module Fleet = Activermt_fleet.Fleet
 module Topology = Activermt_fleet.Topology
 module Telemetry = Activermt_telemetry.Telemetry
+module Trace = Activermt_telemetry.Trace
 module Chaos = Experiments.Chaos
 
 let params = Rmt.Params.default
@@ -27,12 +28,26 @@ let params = Rmt.Params.default
 let test_frame_roundtrip () =
   let payload = Bytes.of_string "activermt capsule payload \x00\x01\xfe\xff" in
   let framed = Wire.frame payload in
-  Alcotest.(check int) "trailer adds 2 bytes" (Bytes.length payload + 2)
+  Alcotest.(check int) "trailer adds 3 bytes (checksum + flags)"
+    (Bytes.length payload + 3)
     (Bytes.length framed);
-  match Wire.unframe framed with
-  | Ok back -> Alcotest.(check string) "payload intact" (Bytes.to_string payload)
-                 (Bytes.to_string back)
-  | Error e -> Alcotest.failf "unframe: %s" e
+  (match Wire.unframe framed with
+  | Ok back ->
+    Alcotest.(check string) "payload intact" (Bytes.to_string payload)
+      (Bytes.to_string back)
+  | Error e -> Alcotest.failf "unframe: %s" e);
+  let ctx = { Wire.trace_id = 0xDEAD; span_id = 0xBEEF } in
+  let traced = Wire.frame ~trace:ctx payload in
+  Alcotest.(check int) "trace extension adds 8 more bytes"
+    (Bytes.length payload + 11)
+    (Bytes.length traced);
+  match Wire.unframe_traced traced with
+  | Ok (back, Some c) ->
+    Alcotest.(check string) "payload intact under trace ext"
+      (Bytes.to_string payload) (Bytes.to_string back);
+    Alcotest.(check bool) "trace context survives" true (c = ctx)
+  | Ok (_, None) -> Alcotest.fail "trace context lost"
+  | Error e -> Alcotest.failf "unframe_traced: %s" e
 
 let test_checksum_rejects_any_single_byte_flip () =
   let payload =
@@ -55,6 +70,40 @@ let test_unframe_short () =
   match Wire.unframe (Bytes.make 1 'x') with
   | Ok _ -> Alcotest.fail "1-byte frame accepted"
   | Error _ -> ()
+
+(* Any payload with any trace context round-trips through the frame
+   trailer exactly, and any single-byte flip of the framed bytes is
+   rejected outright — so a damaged frame can never surface a bogus
+   trace context. *)
+let prop_wire_trace_roundtrip =
+  QCheck.Test.make
+    ~name:"trace ctx roundtrips; corrupt frames never yield one" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         triple
+           (map Bytes.of_string
+              (string_size
+                 ~gen:(map Char.chr (int_range 0 255))
+                 (int_range 0 64)))
+           (opt (pair (int_range 0 0xFFFFFFFF) (int_range 0 0xFFFFFFFF)))
+           (pair (int_range 0 1000) (int_range 1 255))))
+    (fun (payload, ctx, (pos, mask)) ->
+      let trace =
+        Option.map (fun (t, s) -> { Wire.trace_id = t; span_id = s }) ctx
+      in
+      let framed = Wire.frame ?trace payload in
+      let roundtrips =
+        match Wire.unframe_traced framed with
+        | Ok (back, got) -> Bytes.equal back payload && got = trace
+        | Error _ -> false
+      in
+      let damaged = Bytes.copy framed in
+      let i = pos mod Bytes.length framed in
+      Bytes.set_uint8 damaged i (Bytes.get_uint8 damaged i lxor mask);
+      let corruption_caught =
+        match Wire.unframe_traced damaged with Ok _ -> false | Error _ -> true
+      in
+      roundtrips && corruption_caught)
 
 (* -- Faults model -------------------------------------------------------- *)
 
@@ -260,7 +309,7 @@ let negotiate_under_faults ~drop ~duplicate ~corrupt ~ctl_fail ~seed =
   in
   let send pkt =
     Fabric.send fabric
-      { Fabric.src = 10; dst = Fabric.switch_address; payload = Fabric.Active pkt }
+      { Fabric.src = 10; dst = Fabric.switch_address; payload = Fabric.Active pkt; trace = None }
   in
   Fabric.attach fabric 10 (fun msg ->
       match msg.Fabric.payload with
@@ -339,6 +388,41 @@ let test_chaos_baseline_documents_failure () =
   Alcotest.(check bool) "fire-once loses services under 20% loss" true
     (r.Chaos.completion < 1.0)
 
+(* A dropped capsule's trace must end in a [fault.drop] event whose
+   attributes name the faulty link — the whole point of the flight
+   recorder is that loss is attributable, not silent.  Duplicates stay
+   off so every drop is genuinely the end of its causal branch. *)
+let test_chaos_traces_attribute_drops () =
+  let tracer = Trace.create () in
+  let r =
+    Chaos.run ~tracer
+      {
+        Chaos.default_config with
+        Chaos.services = 6;
+        words = 16;
+        seed = 1234;
+        profile = Faults.lossy ~drop:0.05 ~corrupt:0.02 ();
+      }
+  in
+  Alcotest.(check bool) "faults actually fired" true (r.Chaos.fault_events > 0);
+  let evs = Trace.events tracer in
+  let drops = List.filter (fun e -> e.Trace.name = "fault.drop") evs in
+  Alcotest.(check bool) "some dropped capsule was traced" true (drops <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "drop names its link" true
+        (List.mem_assoc "link" d.Trace.attrs);
+      Alcotest.(check bool) "drop names its cause" true
+        (List.mem_assoc "cause" d.Trace.attrs);
+      Alcotest.(check bool) "drop is trace-terminal" true
+        (not
+           (List.exists
+              (fun e ->
+                e.Trace.trace_id = d.Trace.trace_id
+                && e.Trace.parent_span_id = d.Trace.span_id)
+              evs)))
+    drops
+
 (* -- Fleet migration under faults ---------------------------------------- *)
 
 let fill_pattern state =
@@ -394,6 +478,7 @@ let () =
           Alcotest.test_case "single-byte flips rejected" `Quick
             test_checksum_rejects_any_single_byte_flip;
           Alcotest.test_case "short frame" `Quick test_unframe_short;
+          QCheck_alcotest.to_alcotest prop_wire_trace_roundtrip;
         ] );
       ( "model",
         [
@@ -423,6 +508,8 @@ let () =
             test_chaos_recovers_at_5pct_loss;
           Alcotest.test_case "fire-once baseline fails" `Quick
             test_chaos_baseline_documents_failure;
+          Alcotest.test_case "dropped capsules attributed in traces" `Quick
+            test_chaos_traces_attribute_drops;
           Alcotest.test_case "fleet migration under faults" `Quick
             test_fleet_migration_under_faults;
         ] );

@@ -250,7 +250,7 @@ let test_cross_switch_data_plane () =
       | _ -> ());
   let send ~seq:_ pkt =
     Fleet.inject fleet ~client
-      { Netsim.Fabric.src = client; dst = 0; payload = Netsim.Fabric.Active pkt }
+      { Netsim.Fabric.src = client; dst = 0; payload = Netsim.Fabric.Active pkt; trace = None }
   in
   Driver.start driver ~now:0.0 ~send;
   Netsim.Engine.run (Fleet.engine fleet);

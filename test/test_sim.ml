@@ -79,12 +79,10 @@ let test_fabric_request_response () =
       | Fabric.Active pkt -> got := Negotiate.granted_regions pkt
       | _ -> ());
   Fabric.send fabric
-    {
-      Fabric.src = 10;
+    { Fabric.src = 10;
       dst = Fabric.switch_address;
       payload =
-        Fabric.Active (Negotiate.request_packet ~fid:1 ~seq:0 Activermt_apps.Cache.service);
-    };
+        Fabric.Active (Negotiate.request_packet ~fid:1 ~seq:0 Activermt_apps.Cache.service); trace = None };
   Engine.run engine;
   (match !got with
   | Some regions ->
@@ -105,12 +103,10 @@ let test_fabric_exec_and_rts () =
       | _ -> ());
   Fabric.attach fabric 20 (fun _ -> ());
   Fabric.send fabric
-    {
-      Fabric.src = 10;
+    { Fabric.src = 10;
       dst = Fabric.switch_address;
       payload =
-        Fabric.Active (Negotiate.request_packet ~fid:1 ~seq:0 Activermt_apps.Cache.service);
-    };
+        Fabric.Active (Negotiate.request_packet ~fid:1 ~seq:0 Activermt_apps.Cache.service); trace = None };
   Engine.run engine;
   let cc =
     match
@@ -129,11 +125,9 @@ let test_fabric_exec_and_rts () =
       | Fabric.Active { Pkt.payload = Pkt.Exec _; _ } -> acked := true
       | _ -> ());
   Fabric.send fabric
-    {
-      Fabric.src = 10;
+    { Fabric.src = 10;
       dst = 20;
-      payload = Fabric.Active (Activermt_client.Cache_client.populate_packet cc ~seq:1 key ~value:5);
-    };
+      payload = Fabric.Active (Activermt_client.Cache_client.populate_packet cc ~seq:1 key ~value:5); trace = None };
   Engine.run engine;
   Alcotest.(check bool) "populate acked via RTS" true !acked;
   (* Query through the fabric: hit returns to client, not the server. *)
@@ -144,11 +138,9 @@ let test_fabric_exec_and_rts () =
       | _ -> ());
   Fabric.attach fabric 20 (fun _ -> at_server := true);
   Fabric.send fabric
-    {
-      Fabric.src = 10;
+    { Fabric.src = 10;
       dst = 20;
-      payload = Fabric.Active (Activermt_client.Cache_client.query_packet cc ~seq:2 key);
-    };
+      payload = Fabric.Active (Activermt_client.Cache_client.query_packet cc ~seq:2 key); trace = None };
   Engine.run engine;
   Alcotest.(check bool) "hit returned" true !hit;
   Alcotest.(check bool) "server bypassed" false !at_server
@@ -160,7 +152,7 @@ let test_fabric_uninstalled_fid_forwards () =
   let pkt =
     Pkt.exec ~fid:77 ~seq:0 ~args:[||] Activermt_apps.Cache.query_program
   in
-  Fabric.send fabric { Fabric.src = 10; dst = 20; payload = Fabric.Active pkt };
+  Fabric.send fabric { Fabric.src = 10; dst = 20; payload = Fabric.Active pkt; trace = None };
   Engine.run engine;
   Alcotest.(check bool) "plain forwarding" true !at_server
 
@@ -169,17 +161,13 @@ let test_fabric_transit_payloads () =
   let got = ref 0 in
   Fabric.attach fabric 30 (fun _ -> incr got);
   Fabric.send fabric
-    {
-      Fabric.src = 10;
+    { Fabric.src = 10;
       dst = 30;
-      payload = Fabric.Kv_request { key = Workload.Kv.key_of_rank 1 };
-    };
+      payload = Fabric.Kv_request { key = Workload.Kv.key_of_rank 1 }; trace = None };
   Fabric.send fabric
-    {
-      Fabric.src = 10;
+    { Fabric.src = 10;
       dst = 30;
-      payload = Fabric.Kv_reply { key = Workload.Kv.key_of_rank 1; value = 2 };
-    };
+      payload = Fabric.Kv_reply { key = Workload.Kv.key_of_rank 1; value = 2 }; trace = None };
   Engine.run engine;
   Alcotest.(check int) "both delivered" 2 !got
 
@@ -189,23 +177,19 @@ let test_fabric_drop_accounting () =
   Fabric.attach fabric 20 (fun _ -> Alcotest.fail "dropped packet delivered");
   (* Admit a cache, then send it a program that DROPs. *)
   Fabric.send fabric
-    {
-      Fabric.src = 10;
+    { Fabric.src = 10;
       dst = Fabric.switch_address;
       payload =
-        Fabric.Active (Negotiate.request_packet ~fid:1 ~seq:0 Activermt_apps.Cache.service);
-    };
+        Fabric.Active (Negotiate.request_packet ~fid:1 ~seq:0 Activermt_apps.Cache.service); trace = None };
   Engine.run engine;
   let dropper =
     Activermt.Program.v
       (Activermt.Program.plain [ Activermt.Instr.Drop; Activermt.Instr.Return ])
   in
   Fabric.send fabric
-    {
-      Fabric.src = 10;
+    { Fabric.src = 10;
       dst = 20;
-      payload = Fabric.Active (Pkt.exec ~fid:1 ~seq:0 ~args:[||] dropper);
-    };
+      payload = Fabric.Active (Pkt.exec ~fid:1 ~seq:0 ~args:[||] dropper); trace = None };
   Engine.run engine;
   Alcotest.(check int) "one drop counted" 1 (Fabric.stats_drops fabric)
 
@@ -213,21 +197,17 @@ let test_fabric_release () =
   let engine, controller, fabric = make_world () in
   Fabric.attach fabric 10 (fun _ -> ());
   Fabric.send fabric
-    {
-      Fabric.src = 10;
+    { Fabric.src = 10;
       dst = Fabric.switch_address;
       payload =
-        Fabric.Active (Negotiate.request_packet ~fid:1 ~seq:0 Activermt_apps.Cache.service);
-    };
+        Fabric.Active (Negotiate.request_packet ~fid:1 ~seq:0 Activermt_apps.Cache.service); trace = None };
   Engine.run engine;
   Alcotest.(check bool) "installed" true
     (Activermt.Table.installed (Controller.tables controller) ~fid:1);
   Fabric.send fabric
-    {
-      Fabric.src = 10;
+    { Fabric.src = 10;
       dst = Fabric.switch_address;
-      payload = Fabric.Active (Negotiate.release_packet ~fid:1);
-    };
+      payload = Fabric.Active (Negotiate.release_packet ~fid:1); trace = None };
   Engine.run engine;
   Alcotest.(check bool) "released" false
     (Activermt.Table.installed (Controller.tables controller) ~fid:1)
@@ -244,12 +224,10 @@ let test_memsync_driver_over_lossy_fabric () =
   in
   Fabric.attach fabric 10 (fun _ -> ());
   Fabric.send fabric
-    {
-      Fabric.src = 10;
+    { Fabric.src = 10;
       dst = Fabric.switch_address;
       payload =
-        Fabric.Active (Negotiate.request_packet ~fid:1 ~seq:0 Activermt_apps.Cache.service);
-    };
+        Fabric.Active (Negotiate.request_packet ~fid:1 ~seq:0 Activermt_apps.Cache.service); trace = None };
   Engine.run engine;
   let stages =
     Option.get (Activermt_control.Controller.regions_packet controller ~fid:1)
@@ -266,7 +244,7 @@ let test_memsync_driver_over_lossy_fabric () =
   let count = 200 in
   let run_driver driver =
     let send ~seq:_ pkt =
-      Fabric.send fabric { Fabric.src = 10; dst = 20; payload = Fabric.Active pkt }
+      Fabric.send fabric { Fabric.src = 10; dst = 20; payload = Fabric.Active pkt; trace = None }
     in
     Fabric.attach fabric 10 (fun msg ->
         match msg.Fabric.payload with
