@@ -66,6 +66,68 @@ let records_of path json =
    config" whatever the core count of the box that produced it. *)
 let config r = (r.workload, r.domains <= 1)
 
+(* The device section (interpreter vs JIT exec throughput).  Raw pkt/s
+   moves with the runner, but the *speedup* is a ratio of two
+   measurements on the same box, so it gates tightly: each workload's
+   speedup may not drop below (1 - max_drop) x baseline, and the mixed
+   workload must additionally clear the absolute [min_speedup] the bench
+   promises (the PR's >= 5x acceptance gate). *)
+let device_rows json =
+  match Json.member "device" json with
+  | None -> None
+  | Some section ->
+    let rows =
+      match Json.(member "workloads" section |> Option.map to_arr) with
+      | Some (Some items) ->
+        List.filter_map
+          (fun item ->
+            match
+              ( Json.(member "workload" item |> Option.map to_str),
+                Json.(member "speedup" item |> Option.map to_num) )
+            with
+            | Some (Some w), Some (Some s) -> Some (w, s)
+            | _ -> None)
+          items
+      | _ -> []
+    in
+    let min_speedup =
+      match Json.(member "min_speedup" section |> Option.map to_num) with
+      | Some (Some v) -> v
+      | _ -> 0.0
+    in
+    Some (min_speedup, rows)
+
+let compare_device ~max_drop ~failures base_json cur_json =
+  match (device_rows base_json, device_rows cur_json) with
+  | Some (_, base_rows), Some (min_speedup, cur_rows) ->
+    List.iter
+      (fun (workload, b) ->
+        match List.assoc_opt workload cur_rows with
+        | None ->
+          incr failures;
+          Printf.printf "MISSING  device %-6s  no matching workload in candidate\n"
+            workload
+        | Some c ->
+          let floor = (1.0 -. max_drop) *. b in
+          let floor = if workload = "mixed" then Float.max floor min_speedup else floor in
+          let ok = c >= floor in
+          if not ok then incr failures;
+          Printf.printf "%-7s  device %-6s  jit speedup %5.2fx -> %5.2fx (floor %5.2fx)\n"
+            (if ok then "OK" else "REGRESS")
+            workload b c floor)
+      base_rows
+  | None, Some (min_speedup, cur_rows) ->
+    (* New section: no baseline yet, but the absolute gate still holds. *)
+    List.iter
+      (fun (workload, c) ->
+        if workload = "mixed" && c < min_speedup then begin
+          incr failures;
+          Printf.printf "REGRESS  device %-6s  jit speedup %5.2fx below %.1fx gate\n"
+            workload c min_speedup
+        end)
+      cur_rows
+  | _, None -> ()
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse paths drop growth = function
@@ -104,6 +166,7 @@ let () =
           b.workload b.domains b.arrivals_per_sec c.arrivals_per_sec tput_floor
           b.p99_ms c.p99_ms p99_ceil)
     base;
+  compare_device ~max_drop ~failures base_json cur_json;
   (* Candidate-only entries: new configurations the baseline doesn't
      know yet.  Report, don't gate. *)
   List.iter

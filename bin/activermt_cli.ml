@@ -26,6 +26,18 @@ let write_metrics = function
     Telemetry.write_json Telemetry.default ~path;
     Printf.printf "wrote telemetry to %s\n" path
 
+(* Every simulation dump carries the jit.* stats lines — even commands
+   (or runs) that never execute a capsule — so metric files from runs
+   with and without --no-jit stay line-comparable.  Commands that build a
+   fabric get the seeding from [Jit.create]; allocsim (control plane
+   only) seeds here. *)
+let seed_jit_metrics ~enabled =
+  List.iter
+    (fun c -> Telemetry.incr Telemetry.default ~by:0 c)
+    [ "jit.compile"; "jit.hit"; "jit.miss"; "jit.invalidate" ];
+  Telemetry.set_gauge Telemetry.default "jit.enabled"
+    (if enabled then 1.0 else 0.0)
+
 (* Shared by the simulation subcommands: --trace-out enables the flight
    recorder (head sampling at --trace-sample) and dumps Chrome trace JSON
    when the command finishes.  Without --trace-out the tracer is
@@ -123,8 +135,11 @@ and cmd_mutants path policy =
     mutants;
   if List.length mutants > 50 then print_endline "  ..."
 
-and cmd_allocsim spec_str scheme policy domains metrics_out trace_out
+and cmd_allocsim spec_str scheme policy domains no_jit metrics_out trace_out
     trace_sample =
+  (* allocsim exercises only the control plane; the flag is accepted for
+     symmetry with the other sim commands and recorded in the metrics. *)
+  seed_jit_metrics ~enabled:(not no_jit);
   let tracer = make_tracer trace_out trace_sample in
   let alloc = Allocator.create ~scheme ~policy ~domains ~tracer params in
   let next_fid = ref 0 in
@@ -174,8 +189,8 @@ and cmd_allocsim spec_str scheme policy domains metrics_out trace_out
   write_metrics metrics_out;
   write_trace tracer trace_out
 
-and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw metrics_out
-    trace_out trace_sample =
+and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw no_jit
+    metrics_out trace_out trace_sample =
   let module Topology = Activermt_fleet.Topology in
   let module Placement = Activermt_fleet.Placement in
   let module Fleet = Activermt_fleet.Fleet in
@@ -192,7 +207,7 @@ and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw metrics_out
     | `Star -> Topology.star ~switches ~latency_s:1e-5
   in
   let tracer = make_tracer trace_out trace_sample in
-  let fleet = Fleet.create ~policy ~tracer topo in
+  let fleet = Fleet.create ~policy ~jit:(not no_jit) ~tracer topo in
   let events =
     List.concat_map
       (fun (e : Churn.epoch) ->
@@ -277,11 +292,14 @@ and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw metrics_out
     (match Telemetry.gauge_value tel "fleet.occupancy" with
     | Some v -> v
     | None -> 0.0);
+  for sw = 0 to switches - 1 do
+    Activermt.Jit.flush_stats (Netsim.Fabric.jit (Fleet.fabric fleet ~sw))
+  done;
   write_metrics metrics_out;
   write_trace tracer trace_out
 
 and cmd_faultsim services words loss dup corrupt jitter slow_ctl ctl_fail seed
-    no_retries trace metrics_out trace_out trace_sample =
+    no_retries no_jit trace metrics_out trace_out trace_sample =
   let module Chaos = Experiments.Chaos in
   let module Faults = Netsim.Faults in
   let profile =
@@ -304,13 +322,15 @@ and cmd_faultsim services words loss dup corrupt jitter slow_ctl ctl_fail seed
       seed;
       retries = not no_retries;
       profile;
+      jit = not no_jit;
     }
   in
   Printf.printf
-    "faultsim: %d services x %d words, seed %d, retries %s\n\
+    "faultsim: %d services x %d words, seed %d, retries %s, jit %s\n\
      profile: drop %.3f dup %.3f corrupt %.3f jitter %gs ctl x%.1f ctl-fail %.3f\n"
     services words seed
     (if no_retries then "off" else "on")
+    (if no_jit then "off" else "on")
     loss dup corrupt jitter slow_ctl ctl_fail;
   let tracer = make_tracer trace_out trace_sample in
   let r = Chaos.run ~tracer cfg in
@@ -605,12 +625,21 @@ let domains_arg =
                 domains against a per-arrival occupancy snapshot; decisions \
                 are identical at any width."))
 
+let no_jit_arg =
+  Arg.value
+    (Arg.flag
+       (Arg.info [ "no-jit" ]
+          ~doc:"Disable the data-plane specialization tier: every capsule \
+                is interpreted.  Decisions and results are bit-identical \
+                either way; only throughput (and the jit.* metrics) \
+                change."))
+
 let allocsim_cmd =
   let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"cache,hh,lb,...") in
   Cmd.v (Cmd.info "allocsim" ~doc:"replay arrivals against the allocator")
     Term.(
       const cmd_allocsim $ spec $ scheme_arg $ policy_arg $ domains_arg
-      $ metrics_out_arg $ trace_out_arg $ trace_sample_arg)
+      $ no_jit_arg $ metrics_out_arg $ trace_out_arg $ trace_sample_arg)
 
 let fleetsim_cmd =
   let module Placement = Activermt_fleet.Placement in
@@ -656,7 +685,7 @@ let fleetsim_cmd =
        ~doc:"replay a service workload against a multi-switch fleet")
     Term.(
       const cmd_fleetsim $ switches_arg $ topo_arg $ policy_arg $ arrivals_arg
-      $ seed_arg $ fail_arg $ metrics_out_arg $ trace_out_arg
+      $ seed_arg $ fail_arg $ no_jit_arg $ metrics_out_arg $ trace_out_arg
       $ trace_sample_arg)
 
 let faultsim_cmd =
@@ -718,8 +747,8 @@ let faultsim_cmd =
     Term.(
       const cmd_faultsim $ services_arg $ words_arg $ loss_arg $ dup_arg
       $ corrupt_arg $ jitter_arg $ slow_ctl_arg $ ctl_fail_arg $ seed_arg
-      $ no_retries_arg $ trace_arg $ metrics_out_arg $ trace_out_arg
-      $ trace_sample_arg)
+      $ no_retries_arg $ no_jit_arg $ trace_arg $ metrics_out_arg
+      $ trace_out_arg $ trace_sample_arg)
 
 let tracequery_cmd =
   let path =

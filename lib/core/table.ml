@@ -19,12 +19,35 @@ type t = {
   device : Rmt.Device.t;
   apps : (Packet.fid, app_state) Hashtbl.t;
   quiesced : (Packet.fid, unit) Hashtbl.t;
+  epochs : (Packet.fid, int ref) Hashtbl.t;
   mutable added : int;
   mutable removed : int;
 }
 
 let create device =
-  { device; apps = Hashtbl.create 64; quiesced = Hashtbl.create 8; added = 0; removed = 0 }
+  {
+    device;
+    apps = Hashtbl.create 64;
+    quiesced = Hashtbl.create 8;
+    epochs = Hashtbl.create 64;
+    added = 0;
+    removed = 0;
+  }
+
+(* The cell is allocated once per FID and never replaced, so a consumer
+   (the JIT's closure cache) can capture it and revalidate with a single
+   dereference instead of a table probe per packet. *)
+let epoch_ref t ~fid =
+  match Hashtbl.find_opt t.epochs fid with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.epochs fid r;
+    r
+
+let epoch t ~fid = !(epoch_ref t ~fid)
+
+let bump_epoch t ~fid = incr (epoch_ref t ~fid)
 
 let device t = t.device
 
@@ -91,6 +114,7 @@ let install ?(privileged = false) ?max_passes t ~fid ~virtual_addressing ~region
       (* one FID-gating entry and one translation entry per stage,
          plus the protection prefixes *)
       t.added <- t.added + (2 * n) + List.length handles;
+      bump_epoch t ~fid;
       Ok ()
   end
 
@@ -105,7 +129,8 @@ let remove t ~fid =
       app.handles;
     t.removed <- t.removed + (2 * Array.length app.entries) + List.length app.handles;
     Hashtbl.remove t.apps fid;
-    Hashtbl.remove t.quiesced fid
+    Hashtbl.remove t.quiesced fid;
+    bump_epoch t ~fid
 
 let lookup t ~fid ~stage =
   match Hashtbl.find_opt t.apps fid with
@@ -129,9 +154,19 @@ let max_passes_of t ~fid =
   | Some app -> app.max_passes
   | None -> None
 
-let quiesce t ~fid = Hashtbl.replace t.quiesced fid ()
-let unquiesce t ~fid = Hashtbl.remove t.quiesced fid
 let is_quiesced t ~fid = Hashtbl.mem t.quiesced fid
+
+let quiesce t ~fid =
+  if not (is_quiesced t ~fid) then begin
+    Hashtbl.replace t.quiesced fid ();
+    bump_epoch t ~fid
+  end
+
+let unquiesce t ~fid =
+  if is_quiesced t ~fid then begin
+    Hashtbl.remove t.quiesced fid;
+    bump_epoch t ~fid
+  end
 
 let update_stats t = { entries_added = t.added; entries_removed = t.removed }
 

@@ -58,6 +58,22 @@ val remove : t -> fid:Packet.fid -> unit
 
 val lookup : t -> fid:Packet.fid -> stage:int -> entry option
 val installed : t -> fid:Packet.fid -> bool
+
+val epoch : t -> fid:Packet.fid -> int
+(** Allocation epoch of a FID on this switch: a monotonically increasing
+    counter bumped by every successful [install], every effective
+    [remove], and every quiescence transition.  Any change that could
+    affect a program's execution semantics — reallocation, migration,
+    departure, privilege or pass-limit changes (the controller reinstalls
+    for all of these), deactivation — bumps it, so a cached specialization
+    keyed by [(fid, epoch)] (see {!Jit}) is invalidated exactly when it
+    could disagree with the interpreter. *)
+
+val epoch_ref : t -> fid:Packet.fid -> int ref
+(** The cell behind [epoch], allocated once per FID and stable across
+    install/remove, so per-packet revalidation is a dereference rather
+    than a table probe.  Callers must treat it as read-only. *)
+
 val regions_of : t -> fid:Packet.fid -> Packet.region option array option
 
 val quiesce : t -> fid:Packet.fid -> unit

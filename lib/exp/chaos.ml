@@ -12,6 +12,7 @@ type config = {
   retries : bool;
   profile : Faults.profile;
   horizon_s : float;
+  jit : bool;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     retries = true;
     profile = Faults.lossy ~drop:0.01 ();
     horizon_s = 120.0;
+    jit = true;
   }
 
 type outcome = Synced | Fallback | Rejected | Timeout | Incomplete
@@ -93,7 +95,7 @@ let run ?(telemetry = Telemetry.default) ?(tracer = Trace.noop) cfg =
     Controller.create ?cost ~mode:`Auto ~telemetry ~tracer device
   in
   let faults = Faults.create ~seed:cfg.seed ~telemetry cfg.profile in
-  let fabric = Fabric.create ~faults ~telemetry ~tracer ~engine ~controller () in
+  let fabric = Fabric.create ~faults ~jit:cfg.jit ~telemetry ~tracer ~engine ~controller () in
   let sink = 200 in
   Fabric.attach fabric sink (fun _ -> ());
   let backoff =
@@ -292,6 +294,8 @@ let run ?(telemetry = Telemetry.default) ?(tracer = Trace.noop) cfg =
   in
   Telemetry.set_gauge telemetry "chaos.completion"
     (float_of_int !completed /. float_of_int cfg.services);
+  (* Publish the switch's jit.hit/miss counters before any metrics dump. *)
+  Activermt.Jit.flush_stats (Fabric.jit fabric);
   {
     outcomes;
     completed = !completed;

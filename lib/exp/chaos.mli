@@ -23,6 +23,7 @@ type config = {
   retries : bool;  (** false = fire-once baseline *)
   profile : Netsim.Faults.profile;
   horizon_s : float;  (** simulated-time cap; the run never hangs *)
+  jit : bool;  (** run capsules through the switch's JIT tier (default) *)
 }
 
 val default_config : config

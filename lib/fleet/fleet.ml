@@ -1,6 +1,7 @@
 open Import
 module Pool = Activermt_alloc.Pool
 module Runtime = Activermt.Runtime
+module Jit = Activermt.Jit
 
 type node = {
   sw : Topology.switch_id;
@@ -95,7 +96,7 @@ let route t ~from msg =
 
 let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.default)
     ?wire_latency_s ?(memsync_word_budget = 4096) ?faults
-    ?(faults_seed = 0xF1EE7) ?(telemetry = Telemetry.default)
+    ?(faults_seed = 0xF1EE7) ?jit ?(telemetry = Telemetry.default)
     ?(tracer = Trace.noop) topo =
   if memsync_word_budget < 0 then
     invalid_arg "Fleet.create: memsync_word_budget must be non-negative";
@@ -132,7 +133,7 @@ let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.defa
         in
         let fabric =
           Fabric.create ~address:sw ?wire_latency_s ?faults:node_faults
-            ~telemetry ~tracer ~engine ~controller ()
+            ?jit ~telemetry ~tracer ~engine ~controller ()
         in
         { sw; controller; fabric; faults = node_faults })
   in
@@ -316,10 +317,10 @@ let depart t ~fid =
    budget plus a round cap, and the caller falls back to the control
    plane for whatever never got through. *)
 let run_memsync node driver =
-  let tables = Controller.tables node.controller in
+  let jit = Fabric.jit node.fabric in
   let exec ~seq pkt =
     let meta = Runtime.meta ~src:1 ~dst:0 () in
-    let r = Runtime.run tables ~meta pkt in
+    let r = Jit.run jit ~meta pkt in
     match r.Runtime.decision with
     | Runtime.Return_to_sender ->
       ignore (Memsync_driver.on_reply driver ~seq ~args:r.Runtime.args_out)
@@ -492,6 +493,9 @@ let migrate t ~fid ~dst =
       in
       if not t.down.(src) then
         ignore (Controller.handle_departure ?trace:root t.nodes.(src).controller ~fid);
+      (* The program no longer lives on [src]; drop its compiled closures
+         there (the departure's epoch bump already made them stale). *)
+      Jit.invalidate (Fabric.jit t.nodes.(src).fabric) ~fid;
       Hashtbl.remove t.residency fid;
       let outcome oc attrs =
         match root with

@@ -30,6 +30,7 @@ val create :
   ?memsync_word_budget:int ->
   ?faults:Netsim.Faults.profile ->
   ?faults_seed:int ->
+  ?jit:bool ->
   ?telemetry:Telemetry.t ->
   ?tracer:Trace.t ->
   Topology.t ->
@@ -41,6 +42,11 @@ val create :
     migration drains through data-plane memsync packets; larger regions
     fall back to control-plane (BFRT-style) reads/writes, mirroring how
     an operator would bulk-transfer via the management network.
+
+    [jit] (default enabled) is forwarded to every switch's
+    {!Netsim.Fabric.create}: each node runs admitted programs through its
+    own {!Activermt.Jit} tier (memsync drains included).  Migration
+    invalidates the FID's compiled closures on the source switch.
 
     [faults] (default none) applies the fault profile to every switch:
     each node gets its own {!Netsim.Faults} instance (decorrelated

@@ -21,3 +21,7 @@ val hash_words : row:int -> int list -> int
     other and would correlate sketch/Bloom probes — so the row is folded
     in with a non-linear finalizer, emulating per-stage polynomial
     diversity on real hardware. *)
+
+val hash_words2 : row:int -> int -> int -> int
+(** [hash_words2 ~row w0 w1] = [hash_words ~row [ w0; w1 ]] without the
+    list allocations, for per-packet use. *)

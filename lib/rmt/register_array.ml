@@ -45,6 +45,31 @@ let access t ~index op =
   in
   { value }
 
+(* Counted single-op entry points: identical semantics to [access] with
+   the corresponding [op] (bounds check, access accounting, masking) but
+   no op/result allocation, for compiled per-packet code. *)
+let read_counted t index =
+  check t index;
+  t.accesses <- t.accesses + 1;
+  t.data.(index)
+
+let write_counted t index v =
+  check t index;
+  t.accesses <- t.accesses + 1;
+  t.data.(index) <- mask32 v
+
+let add_read_counted t index v =
+  check t index;
+  t.accesses <- t.accesses + 1;
+  let nv = mask32 (t.data.(index) + v) in
+  t.data.(index) <- nv;
+  nv
+
+let min_read_counted t index v =
+  check t index;
+  t.accesses <- t.accesses + 1;
+  min t.data.(index) (mask32 v)
+
 let get t index =
   check t index;
   t.data.(index)

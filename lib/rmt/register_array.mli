@@ -10,7 +10,15 @@
     counted so tests can assert the one-access-per-stage-per-packet
     invariant end to end. *)
 
-type t
+type t = {
+  data : int array;
+      (** Live backing store.  Exposed (with [accesses]) so compiled
+          per-packet code ({!Jit}) can inline accesses it has proven in
+          bounds; everything else should go through {!access} or the
+          [*_counted] entry points.  Stored values are 32-bit masked —
+          writers must mask. *)
+  mutable accesses : int;
+}
 
 (** The stateful-ALU micro-programs exposed to the data plane. *)
 type op =
@@ -31,6 +39,16 @@ val access : t -> index:int -> op -> access_result
     @raise Invalid_argument if [index] is out of bounds — the runtime's
     protection tables are supposed to make that impossible, so hitting it
     signals a protection bug, not user error. *)
+
+val read_counted : t -> int -> int
+val write_counted : t -> int -> int -> unit
+val add_read_counted : t -> int -> int -> int
+
+val min_read_counted : t -> int -> int -> int
+(** Counted single-op entry points: [read_counted t i] is
+    [(access t ~index:i Read).value] (and likewise [Write]/[Add_read]/
+    [Min_read]) with identical bounds checking and access accounting but
+    no per-call allocation — for compiled per-packet code ({!Jit}). *)
 
 val get : t -> int -> int
 (** Control-plane read (BFRT-style), not counted as a data-plane access. *)

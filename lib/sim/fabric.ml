@@ -27,6 +27,7 @@ type t = {
   faults : Faults.t option;
   nodes : (address, msg -> unit) Hashtbl.t;
   owners : (Activermt.Packet.fid, address) Hashtbl.t;
+  jit : Activermt.Jit.t;
   mutable drops : int;
   mutable lost : int;
   tel : Telemetry.t;
@@ -34,7 +35,7 @@ type t = {
 }
 
 let create ?(address = switch_address) ?(wire_latency_s = 5.0e-6)
-    ?(loss_rate = 0.0) ?(loss_seed = 4_059) ?faults
+    ?(loss_rate = 0.0) ?(loss_seed = 4_059) ?faults ?(jit = true)
     ?(telemetry = Telemetry.default) ?(tracer = Trace.noop) ~engine ~controller
     () =
   if loss_rate < 0.0 || loss_rate >= 1.0 then
@@ -56,6 +57,9 @@ let create ?(address = switch_address) ?(wire_latency_s = 5.0e-6)
     faults;
     nodes = Hashtbl.create 16;
     owners = Hashtbl.create 16;
+    jit =
+      Activermt.Jit.create ~enabled:jit ~telemetry
+        (Controller.tables controller);
     drops = 0;
     lost = 0;
     tel = telemetry;
@@ -67,6 +71,7 @@ let controller t = t.controller
 let address t = t.address
 let faults t = t.faults
 let tracer t = t.tracer
+let jit t = t.jit
 
 let attach t addr handler =
   if addr = t.address then invalid_arg "Fabric.attach: switch address reserved";
@@ -291,6 +296,9 @@ let at_switch t m =
         let _timing, expanded =
           Controller.handle_departure ?trace:(tr_on t m) t.controller ~fid
         in
+        (* The epoch bump already makes any cached closures unreachable;
+           the explicit invalidate frees them eagerly. *)
+        Activermt.Jit.invalidate t.jit ~fid;
         Hashtbl.remove t.owners fid;
         notify_impacted ?trace:m.trace t expanded
       end
@@ -309,12 +317,18 @@ let at_switch t m =
            admit.* attrs link the data plane back to the control-plane
            provision span that placed this program. *)
         let exec_attrs =
+          let jit_attr =
+            ( "jit",
+              if Activermt.Jit.would_specialize t.jit pkt then "true"
+              else "false" )
+          in
           match Controller.admit_trace t.controller ~fid with
-          | None -> [ sw_attr t; ("fid", string_of_int fid) ]
+          | None -> [ sw_attr t; ("fid", string_of_int fid); jit_attr ]
           | Some a ->
             [
               sw_attr t;
               ("fid", string_of_int fid);
+              jit_attr;
               ("admit.trace_id", string_of_int a.Trace.trace_id);
               ("admit.span_id", string_of_int a.Trace.span_id);
             ]
@@ -346,7 +360,15 @@ let at_switch t m =
                   ignore (Trace.instant t.tracer c ~attrs "device.stage"))
             | _ -> None
           in
-          (Activermt.Runtime.run ?on_event tables ~meta pkt, ec)
+          let r, mode = Activermt.Jit.run_info ?on_event t.jit ~meta pkt in
+          (match (mode, ec) with
+          | Activermt.Jit.Compiled_fresh, Some c ->
+            ignore
+              (Trace.instant t.tracer c
+                 ~attrs:[ sw_attr t; ("fid", string_of_int fid) ]
+                 "jit.compile")
+          | _ -> ());
+          (r, ec)
         in
         let params = Rmt.Device.params (Controller.device t.controller) in
         let proc_s =

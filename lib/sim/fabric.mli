@@ -53,6 +53,7 @@ val create :
   ?loss_rate:float ->
   ?loss_seed:int ->
   ?faults:Faults.t ->
+  ?jit:bool ->
   ?telemetry:Activermt_telemetry.Telemetry.t ->
   ?tracer:Activermt_telemetry.Trace.t ->
   engine:Engine.t ->
@@ -77,6 +78,14 @@ val create :
     {!Faults.is_none} is ignored entirely: the fabric then takes the
     same code paths as a fault-free build, bit for bit.
 
+    [jit] (default [true]) runs admitted programs through the {!Activermt.Jit}
+    specialization tier, falling back to the interpreter for anything it
+    cannot specialize; [false] forces pure interpretation (the CLI's
+    [--no-jit]).  Either way results are bit-identical — the JIT changes
+    throughput, never semantics.  Departures invalidate the FID's cached
+    closures; reallocation and quiescence invalidate through the
+    allocation epoch.
+
     [telemetry] (default [Telemetry.default]) counts fabric traffic:
     [sim.packets.sent/delivered/lost/dropped] plus per-node
     [sim.node.<addr>.tx]/[sim.node.<addr>.rx].
@@ -84,7 +93,9 @@ val create :
     [tracer] (default [Trace.noop]) records per-capsule causal events:
     [capsule.inject], [sim.hop]/[sim.deliver] ([sim.enqueue] at Stages
     verbosity), [fault.drop]/[fault.corrupt]/[fault.duplicate] with the
-    firing knob as [cause] and the [link] named, [device.exec] spans with
+    firing knob as [cause] and the [link] named, [device.exec] spans (carrying a
+    [jit=true/false] attr for whether the specialization tier ran the
+    capsule, plus a [jit.compile] instant on first compilation) with
     [device.stage]/[device.result]/[device.drop] children linked to the
     admitting [control.provision] span via [admit.*] attrs.  Share one
     tracer (and its clock, wired to [Engine.now]) across every fabric of
@@ -98,6 +109,11 @@ val tracer : t -> Activermt_telemetry.Trace.t
 
 val faults : t -> Faults.t option
 (** The fault model attached at creation, if any (and not all-off). *)
+
+val jit : t -> Activermt.Jit.t
+(** The switch's JIT handle (disabled when created with [~jit:false]) —
+    for stats flushing before metric dumps and invalidation on
+    migration. *)
 
 val address : t -> address
 (** The address this instance's switch answers on. *)

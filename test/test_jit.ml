@@ -1,0 +1,446 @@
+(* Differential tests for the JIT specialization tier (Activermt.Jit).
+
+   The contract under test (jit.mli): execution through compiled closures
+   is *bit-identical* to the interpreter — the same result record, the
+   same trace_event stream, the same register-array contents and access
+   counts, the same device drop/recirculation counters — across faults
+   (protection, privilege, recirculation limits, explicit drops),
+   quiescence, and invalidation (reinstall, migration, departure).
+
+   Every check runs a "twin world": two identical device+table pairs, one
+   driven by Runtime.run, the other by Jit.run, fed the same packet
+   sequence.  Comparing full post-run device state (not just results)
+   catches a specialized closure that computes the right answer with the
+   wrong side effects. *)
+
+module I = Activermt.Instr
+module P = Activermt.Program
+module Pkt = Activermt.Packet
+module Tbl = Activermt.Table
+module RT = Activermt.Runtime
+module Jit = Activermt.Jit
+module Controller = Activermt_control.Controller
+module Negotiate = Activermt_client.Negotiate
+module Cache_client = Activermt_client.Cache_client
+module Hh_client = Activermt_client.Hh_client
+module Lb_client = Activermt_client.Lb_client
+module Mutant = Activermt_compiler.Mutant
+module Kv = Workload.Kv
+
+let params = Rmt.Params.default
+
+let regions_with assoc =
+  let r = Array.make 20 None in
+  List.iter
+    (fun (s, start_word, n_words) -> r.(s) <- Some { Pkt.start_word; n_words })
+    assoc;
+  r
+
+(* -- Twin worlds ---------------------------------------------------------- *)
+
+type twin = { it : Tbl.t; jt : Tbl.t; jit : Jit.t }
+
+let twin ?(params = params) ?privileged ?max_passes ?(virtual_addressing = true)
+    ?(stages = [ (0, 0, 256); (5, 256, 256); (13, 0, 512) ]) () =
+  let mk () =
+    let t = Tbl.create (Rmt.Device.create params) in
+    (match
+       Tbl.install ?privileged ?max_passes t ~fid:1 ~virtual_addressing
+         ~regions:(regions_with stages)
+     with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "twin install");
+    t
+  in
+  let it = mk () in
+  let jt = mk () in
+  { it; jt; jit = Jit.create jt }
+
+let meta = RT.meta ~flow_key:[| 0xBEEF; 0xCAFE |] ~src:100 ~dst:200 ()
+
+(* Full observable device state: register contents and access counts for
+   every stage, plus the drop/recirculation counters. *)
+let device_state tbl =
+  let d = Tbl.device tbl in
+  let per_stage =
+    Array.map
+      (fun s ->
+        let regs = s.Rmt.Device.regs in
+        let words = Rmt.Register_array.words regs in
+        ( Rmt.Register_array.snapshot_range regs ~lo:0 ~hi:(words - 1),
+          Rmt.Register_array.access_count regs ))
+      (Rmt.Device.stages d)
+  in
+  (per_stage, Rmt.Device.drops d, Rmt.Device.recirculations d)
+
+let exec_both w pkt =
+  let iev = ref [] in
+  let jev = ref [] in
+  let ri = RT.run ~on_event:(fun e -> iev := e :: !iev) w.it ~meta pkt in
+  let rj, mode =
+    Jit.run_info ~on_event:(fun e -> jev := e :: !jev) w.jit ~meta pkt
+  in
+  (ri, List.rev !iev, rj, List.rev !jev, mode)
+
+(* Structural comparison covers the whole result record (args_out arrays,
+   drop reasons) and the whole trace-event stream. *)
+let identical w pkt =
+  let ri, iev, rj, jev, _ = exec_both w pkt in
+  ri = rj && iev = jev && device_state w.it = device_state w.jt
+
+let check_identical msg w pkt =
+  let ri, iev, rj, jev, _ = exec_both w pkt in
+  Alcotest.(check bool) (msg ^ ": result") true (ri = rj);
+  Alcotest.(check bool) (msg ^ ": trace stream") true (iev = jev);
+  Alcotest.(check bool)
+    (msg ^ ": device state")
+    true
+    (device_state w.it = device_state w.jt);
+  ri
+
+let exec_pkt ?(seq = 0) ?(args = [| 0; 0; 0; 0 |]) instrs =
+  Pkt.exec ~fid:1 ~seq ~args (P.v (P.plain instrs))
+
+(* -- Directed: real applications ------------------------------------------ *)
+
+(* The synthesized cache / heavy-hitter / Cheetah-LB programs are what the
+   JIT's fused superinstructions actually target, so running the bench's
+   packet mix through both engines exercises every peephole pattern
+   against its real producer.  Admission goes through the controller so
+   the JIT specializes against a real granted allocation. *)
+type tenants = {
+  tables : Tbl.t;
+  cache : Cache_client.t;
+  hh : Hh_client.t;
+  lb : Lb_client.t;
+}
+
+let setup_tenants () =
+  let device = Rmt.Device.create params in
+  let controller = Controller.create device in
+  let admit ~fid service =
+    let request = Negotiate.request_packet ~fid ~seq:0 service in
+    match Controller.handle_request controller request with
+    | Ok provision ->
+      Option.get (Negotiate.granted_regions provision.Controller.response)
+    | Error _ -> Alcotest.fail "tenant admission failed on an empty switch"
+  in
+  let client = function Ok c -> c | Error e -> Alcotest.fail e in
+  let policy = Mutant.Most_constrained in
+  let cache_regions = admit ~fid:1 Activermt_apps.Cache.service in
+  let hh_regions = admit ~fid:2 Activermt_apps.Heavy_hitter.service in
+  let lb_regions = admit ~fid:3 Activermt_apps.Cheetah_lb.service in
+  {
+    tables = Controller.tables controller;
+    cache =
+      client (Cache_client.create params ~policy ~fid:1 ~regions:cache_regions);
+    hh = client (Hh_client.create params ~policy ~fid:2 ~regions:hh_regions);
+    lb = client (Lb_client.create params ~policy ~fid:3 ~regions:lb_regions);
+  }
+
+let app_pool t =
+  Array.init 64 (fun i ->
+      match i mod 4 with
+      | 0 ->
+        let key = Kv.key_of_rank (32 * ((i lsr 3) land 1)) in
+        if i mod 40 = 0 then
+          Cache_client.populate_packet t.cache ~seq:i key ~value:(i * 7)
+        else Cache_client.query_packet t.cache ~seq:i key
+      | 1 | 2 -> Hh_client.monitor_packet t.hh ~seq:i (Kv.key_of_rank (i mod 64))
+      | _ -> Lb_client.syn_packet t.lb ~seq:i ~salt:i)
+
+let test_real_apps_identical () =
+  let ti = setup_tenants () in
+  let tj = setup_tenants () in
+  let jit = Jit.create tj.tables in
+  let ipool = app_pool ti in
+  let jpool = app_pool tj in
+  (* Three rounds: round 1 compiles (cache misses, cold sketches), later
+     rounds serve from the closure cache with warm register state. *)
+  for round = 1 to 3 do
+    Array.iteri
+      (fun k ipkt ->
+        let iev = ref [] in
+        let jev = ref [] in
+        let ri = RT.run ~on_event:(fun e -> iev := e :: !iev) ti.tables ~meta ipkt in
+        let rj =
+          Jit.run ~on_event:(fun e -> jev := e :: !jev) jit ~meta jpool.(k)
+        in
+        if not (ri = rj && !iev = !jev) then
+          Alcotest.failf "round %d packet %d diverged" round k)
+      ipool;
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d device state" round)
+      true
+      (device_state ti.tables = device_state tj.tables)
+  done;
+  let hits, misses, compiles, _ = Jit.stats jit in
+  Alcotest.(check bool) "specialized at least once" true (compiles > 0);
+  Alcotest.(check bool) "misses only on first sight" true (misses = compiles);
+  Alcotest.(check bool) "later rounds hit the cache" true (hits >= 2 * 64)
+
+(* -- Directed: control flow, recirculation, faults ------------------------ *)
+
+let test_branches_identical () =
+  let w = twin () in
+  let program =
+    match P.parse "MBR_LOAD 1\nCJUMP L1\nMBR_LOAD 3\nL1: RETURN\n" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let run args seq =
+    ignore
+      (check_identical "branchy program" w (Pkt.exec ~fid:1 ~seq ~args program))
+  in
+  (* Taken and not-taken, through both the fresh-compile and cached path. *)
+  run [| 0; 1; 0; 0 |] 0;
+  run [| 0; 0; 0; 0 |] 1;
+  run [| 0; 1; 0; 0 |] 2
+
+let test_recirculation_identical () =
+  let w = twin () in
+  let two_pass = List.init 24 (fun _ -> I.Nop) @ [ I.Return ] in
+  let r = check_identical "two passes" w (exec_pkt two_pass) in
+  Alcotest.(check int) "recirculated" 2 r.RT.passes
+
+let test_pass_allowance_identical () =
+  let w = twin ~max_passes:2 () in
+  let three_pass = List.init 45 (fun _ -> I.Nop) @ [ I.Return ] in
+  let r = check_identical "pass allowance" w (exec_pkt three_pass) in
+  match r.RT.decision with
+  | RT.Dropped RT.Recirculation_limit -> ()
+  | _ -> Alcotest.fail "expected recirculation-limit drop in both engines"
+
+let test_device_recirc_limit_identical () =
+  let small = { params with Rmt.Params.recirc_limit = 1 } in
+  let w = twin ~params:small () in
+  let long = List.init 70 (fun _ -> I.Nop) @ [ I.Return ] in
+  let r = check_identical "device recirc limit" w (exec_pkt long) in
+  match r.RT.decision with
+  | RT.Dropped RT.Recirculation_limit -> ()
+  | _ -> Alcotest.fail "expected device-limit drop in both engines"
+
+let test_fault_drops_identical () =
+  (* Protection violation: physical addressing outside the granted range. *)
+  let w = twin ~virtual_addressing:false ~stages:[ (0, 512, 256) ] () in
+  let r =
+    check_identical "protection" w
+      (exec_pkt ~args:[| 100; 0; 0; 0 |] [ I.Mem_read; I.Return ])
+  in
+  (match r.RT.decision with
+  | RT.Dropped (RT.Protection_violation _) -> ()
+  | _ -> Alcotest.fail "expected protection drop");
+  (* No allocation at the accessed stage. *)
+  let w = twin ~stages:[ (13, 0, 256) ] () in
+  let r = check_identical "no allocation" w (exec_pkt [ I.Mem_read; I.Return ]) in
+  (match r.RT.decision with
+  | RT.Dropped (RT.No_allocation _) -> ()
+  | _ -> Alcotest.fail "expected no-allocation drop");
+  (* Privilege: FORK without the privilege bit, then with it. *)
+  let w = twin () in
+  let r = check_identical "privilege" w (exec_pkt [ I.Fork; I.Return ]) in
+  (match r.RT.decision with
+  | RT.Dropped (RT.Privilege_violation _) -> ()
+  | _ -> Alcotest.fail "expected privilege drop");
+  let w = twin ~privileged:true () in
+  let r = check_identical "privileged fork" w (exec_pkt [ I.Fork; I.Return ]) in
+  Alcotest.(check int) "fork executed in both" 1 r.RT.forks;
+  (* Explicit drop. *)
+  let w = twin () in
+  let r = check_identical "explicit drop" w (exec_pkt [ I.Drop ]) in
+  match r.RT.decision with
+  | RT.Dropped RT.Explicit_drop -> ()
+  | _ -> Alcotest.fail "expected explicit drop"
+
+(* -- Directed: quiescence and invalidation -------------------------------- *)
+
+let test_quiescence_identical () =
+  let w = twin () in
+  let incr = exec_pkt ~args:[| 9; 0; 0; 0 |] [ I.Mem_increment; I.Return ] in
+  ignore (check_identical "before quiesce" w incr);
+  let _, _, compiles0, _ = Jit.stats w.jit in
+  Tbl.quiesce w.it ~fid:1;
+  Tbl.quiesce w.jt ~fid:1;
+  Alcotest.(check bool) "quiesced FID not specialized" false
+    (Jit.would_specialize w.jit incr);
+  let _, _, rj, _, mode = exec_both w incr in
+  Alcotest.(check bool) "passes through unprocessed" true rj.RT.quiesced;
+  Alcotest.(check bool) "interpreter fallback while quiesced" true
+    (mode = Jit.Interpreted);
+  Tbl.unquiesce w.it ~fid:1;
+  Tbl.unquiesce w.jt ~fid:1;
+  (* Quiescence transitions bump the allocation epoch, so the cached
+     closure from before the quiesce window is stale: the next packet
+     recompiles rather than reusing it. *)
+  let r = check_identical "after unquiesce" w incr in
+  Alcotest.(check int) "register survived the window" 2 r.RT.final_mbr;
+  let _, _, compiles1, _ = Jit.stats w.jit in
+  Alcotest.(check bool) "recompiled after epoch bump" true (compiles1 > compiles0)
+
+let test_reinstall_invalidates () =
+  let w = twin ~stages:[ (0, 0, 256) ] () in
+  let incr = exec_pkt ~args:[| 5; 0; 0; 0 |] [ I.Mem_increment; I.Return ] in
+  ignore (check_identical "initial allocation" w incr);
+  (* Reallocation: remove + reinstall with a different region, as the
+     controller does for elastic reallocation or migration repopulate.
+     The stale closure bakes the old bounds; the epoch key must prevent
+     its reuse. *)
+  let reinstall t =
+    Tbl.remove t ~fid:1;
+    match
+      Tbl.install t ~fid:1 ~virtual_addressing:true
+        ~regions:(regions_with [ (0, 512, 128); (5, 0, 64) ])
+    with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "reinstall"
+  in
+  reinstall w.it;
+  reinstall w.jt;
+  let _, _, compiles0, _ = Jit.stats w.jit in
+  ignore (check_identical "after reallocation" w incr);
+  let _, _, compiles1, _ = Jit.stats w.jit in
+  Alcotest.(check bool) "recompiled against the new allocation" true
+    (compiles1 > compiles0)
+
+let test_departure_invalidation () =
+  let w = twin () in
+  ignore (check_identical "resident" w (exec_pkt [ I.Return ]));
+  Alcotest.(check bool) "closure cached" true (Jit.cache_size w.jit > 0);
+  (* Departure / migration source path (what Fabric and Fleet.migrate do):
+     remove the tables, then evict the dead closures. *)
+  Tbl.remove w.it ~fid:1;
+  Tbl.remove w.jt ~fid:1;
+  Jit.invalidate w.jit ~fid:1;
+  Alcotest.(check int) "cache emptied" 0 (Jit.cache_size w.jit);
+  Alcotest.(check bool) "departed FID not specialized" false
+    (Jit.would_specialize w.jit (exec_pkt [ I.Return ]));
+  (* Uninstalled on both sides: still identical (interpreter fallback). *)
+  ignore (check_identical "after departure" w (exec_pkt [ I.Return ]))
+
+let test_disabled_jit () =
+  let w = twin () in
+  let jit = Jit.create ~enabled:false w.jt in
+  let pkt = exec_pkt ~args:[| 3; 0; 0; 0 |] [ I.Mem_increment; I.Return ] in
+  Alcotest.(check bool) "disabled jit never specializes" false
+    (Jit.would_specialize jit pkt);
+  let ri = RT.run w.it ~meta pkt in
+  let rj, mode = Jit.run_info jit ~meta pkt in
+  Alcotest.(check bool) "interpreted" true (mode = Jit.Interpreted);
+  Alcotest.(check bool) "same result" true (ri = rj);
+  let hits, misses, compiles, _ = Jit.stats jit in
+  Alcotest.(check (list int)) "no cache activity" [ 0; 0; 0 ]
+    [ hits; misses; compiles ]
+
+let test_non_exec_passthrough () =
+  let w = twin () in
+  let pkt = { Pkt.fid = 1; seq = 0; flags = Pkt.no_flags; payload = Pkt.Bare } in
+  let ri = RT.run w.it ~meta pkt in
+  let rj, mode = Jit.run_info w.jit ~meta pkt in
+  Alcotest.(check bool) "bare packets interpreted" true (mode = Jit.Interpreted);
+  Alcotest.(check bool) "same result" true (ri = rj)
+
+(* -- Properties ----------------------------------------------------------- *)
+
+let instr_gen =
+  (* Label-free pool, as in test_core: random label placement rarely
+     validates; branch handling is covered by the directed test. *)
+  let pool =
+    List.filter (fun i -> I.branch_target i = None && i <> I.Eof) I.all_opcodes
+  in
+  QCheck.Gen.oneofl pool
+
+(* The core property: on arbitrary label-free programs — which freely hit
+   protection faults, privilege drops, recirculation and hash/memory ops —
+   the JIT's result, trace stream and device side effects equal the
+   interpreter's, on both the fresh-compile and the cached path. *)
+let prop_jit_matches_interpreter =
+  QCheck.Test.make ~name:"jit = interpreter on random programs" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (pair
+              (list_size (int_range 1 50) instr_gen)
+              bool)
+           (pair
+              (array_size (return 4) (int_range 0 0xFFFF))
+              (array_size (return 4) (int_range 0 0xFFFF)))))
+    (fun ((instrs, privileged), (args1, args2)) ->
+      let w = twin ~privileged () in
+      let p = P.v (P.plain instrs) in
+      identical w (Pkt.exec ~fid:1 ~seq:0 ~args:args1 p)
+      && identical w (Pkt.exec ~fid:1 ~seq:1 ~args:args2 p))
+
+(* Invalidation safety: after a random reallocation the JIT may never
+   serve the closure specialized against the old bounds. *)
+let prop_reinstall_safe =
+  QCheck.Test.make ~name:"jit matches interpreter across reallocation" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 30) instr_gen)
+           (pair (int_range 0 19) (int_range 0 3))))
+    (fun (instrs, (stage, size_sel)) ->
+      let w = twin () in
+      let p = P.v (P.plain instrs) in
+      let ok1 = identical w (Pkt.exec ~fid:1 ~seq:0 ~args:[| 7; 1; 2; 3 |] p) in
+      let n_words = 32 lsl size_sel in
+      let reinstall t =
+        Tbl.remove t ~fid:1;
+        Result.is_ok
+          (Tbl.install t ~fid:1 ~virtual_addressing:true
+             ~regions:(regions_with [ (stage, 0, n_words) ]))
+      in
+      let a = reinstall w.it in
+      let b = reinstall w.jt in
+      a = b
+      && ok1
+      && identical w (Pkt.exec ~fid:1 ~seq:1 ~args:[| 7; 1; 2; 3 |] p))
+
+(* The slicing-by-8 fast hash must agree with the byte-at-a-time CRC
+   family everywhere — the JIT's hash superinstructions rely on it. *)
+let prop_hash_words2 =
+  QCheck.Test.make ~name:"hash_words2 = hash_words" ~count:2000
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range 0 63)
+           (int_range 0 0xFFFFFFFF)
+           (int_range 0 0xFFFFFFFF)))
+    (fun (row, w0, w1) ->
+      Rmt.Crc.hash_words2 ~row w0 w1 = Rmt.Crc.hash_words ~row [ w0; w1 ])
+
+let () =
+  Alcotest.run "jit"
+    [
+      ( "apps",
+        [
+          Alcotest.test_case "real app mix is bit-identical" `Quick
+            test_real_apps_identical;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "branches" `Quick test_branches_identical;
+          Alcotest.test_case "recirculation" `Quick test_recirculation_identical;
+          Alcotest.test_case "per-FID pass allowance" `Quick
+            test_pass_allowance_identical;
+          Alcotest.test_case "device recirc limit" `Quick
+            test_device_recirc_limit_identical;
+          Alcotest.test_case "fault drops" `Quick test_fault_drops_identical;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "quiescence" `Quick test_quiescence_identical;
+          Alcotest.test_case "reallocation invalidates" `Quick
+            test_reinstall_invalidates;
+          Alcotest.test_case "departure invalidation" `Quick
+            test_departure_invalidation;
+          Alcotest.test_case "disabled jit (--no-jit)" `Quick test_disabled_jit;
+          Alcotest.test_case "non-exec passthrough" `Quick
+            test_non_exec_passthrough;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_jit_matches_interpreter;
+          QCheck_alcotest.to_alcotest prop_reinstall_safe;
+          QCheck_alcotest.to_alcotest prop_hash_words2;
+        ] );
+    ]
