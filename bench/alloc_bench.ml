@@ -270,7 +270,7 @@ let write_json ~path json =
       | Ok old ->
         List.filter_map
           (fun key -> Option.map (fun v -> (key, v)) (Json.member key old))
-          [ "fleet"; "chaos"; "device" ]
+          [ "fleet"; "chaos"; "device"; "churn" ]
       | Error _ -> []
     end
     else []

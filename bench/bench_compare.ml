@@ -128,6 +128,85 @@ let compare_device ~max_drop ~failures base_json cur_json =
       cur_rows
   | _, None -> ()
 
+(* The churn section (batched epoch admission at scale).  Three gated
+   metrics:
+   - batch_speedup: batched-vs-sequential ratio measured on one box (like
+     the device speedup) — may not drop below (1 - max_drop) x baseline,
+     and must always clear the absolute [min_batch_speedup] the bench
+     promises (the PR's >= 10x acceptance gate), baseline or not;
+   - p99_tts_ms: modeled p99 time-to-service.  It comes off the
+     deterministic virtual clock, so unlike wall-clock p99s it is
+     machine-independent; growth past [max_growth] x baseline fails;
+   - batched_arrivals_per_sec: measured throughput, floored like the
+     fastpath rows. *)
+let churn_row json =
+  match Json.member "churn" json with
+  | None -> None
+  | Some section ->
+    let num key =
+      match Json.(member key section |> Option.map to_num) with
+      | Some (Some v) -> Some v
+      | _ -> None
+    in
+    Some
+      ( Option.value ~default:0.0 (num "min_batch_speedup"),
+        num "batch_speedup",
+        num "p99_tts_ms",
+        num "batched_arrivals_per_sec" )
+
+let compare_churn ~max_drop ~max_growth ~failures base_json cur_json =
+  let gate name ok fmt =
+    Printf.ksprintf
+      (fun detail ->
+        if not ok then incr failures;
+        Printf.printf "%-7s  churn  %-22s %s\n"
+          (if ok then "OK" else "REGRESS")
+          name detail)
+      fmt
+  in
+  let missing name =
+    incr failures;
+    Printf.printf "MISSING  churn  %-22s absent from candidate section\n" name
+  in
+  match (churn_row base_json, churn_row cur_json) with
+  | Some (_, b_speed, b_p99, b_tput), Some (min_speedup, c_speed, c_p99, c_tput)
+    ->
+    (match c_speed with
+    | None -> missing "batch_speedup"
+    | Some c ->
+      let floor =
+        Float.max min_speedup
+          (match b_speed with
+          | Some b -> (1.0 -. max_drop) *. b
+          | None -> 0.0)
+      in
+      gate "batch_speedup" (c >= floor) "%5.2fx (floor %5.2fx)" c floor);
+    (match c_p99 with
+    | None -> missing "p99_tts_ms"
+    | Some c ->
+      (match b_p99 with
+      | Some b ->
+        let ceil = max_growth *. b in
+        gate "p99_tts_ms" (c <= ceil) "%8.3f -> %8.3f ms (ceil %8.3f)" b c ceil
+      | None -> ()));
+    (match (c_tput, b_tput) with
+    | None, _ -> missing "batched_arrivals_per_sec"
+    | Some c, Some b ->
+      let floor = (1.0 -. max_drop) *. b in
+      gate "batched_arrivals_per_sec" (c >= floor)
+        "%9.1f -> %9.1f /s (floor %9.1f)" b c floor
+    | Some _, None -> ())
+  | None, Some (min_speedup, c_speed, _, _) ->
+    (* New section: no baseline yet, but the absolute speedup gate still
+       holds, exactly like a device section landing for the first time. *)
+    (match c_speed with
+    | Some c when c < min_speedup ->
+      incr failures;
+      Printf.printf "REGRESS  churn  batch_speedup %5.2fx below %.1fx gate\n" c
+        min_speedup
+    | _ -> ())
+  | _, None -> ()
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse paths drop growth = function
@@ -167,6 +246,7 @@ let () =
           b.p99_ms c.p99_ms p99_ceil)
     base;
   compare_device ~max_drop ~failures base_json cur_json;
+  compare_churn ~max_drop ~max_growth ~failures base_json cur_json;
   (* Candidate-only entries: new configurations the baseline doesn't
      know yet.  Report, don't gate. *)
   List.iter

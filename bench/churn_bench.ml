@@ -1,0 +1,158 @@
+(* Churn-at-scale benchmark (the BENCH_alloc.json "churn" section):
+   simulated clients arriving under Zipf program popularity and departing
+   at steady state, admitted through the batched epoch pipeline
+   (Allocator.admit_batch + one batched table-write session per epoch).
+
+     quick  50k clients (the CI smoke scale)
+     full   1M clients (the ROADMAP "millions of users" scale)
+
+   Two numbers matter:
+   - measured admission throughput (arrivals / admit_batch wall time),
+     gated in-binary at >= [min_batch_speedup]x over a sequential
+     Allocator.admit replay of a prefix of the same trace, and against
+     the committed baseline by bench_compare;
+   - modeled p99 time-to-service from the deterministic virtual clock
+     (machine-independent; bench_compare fails if it more than doubles). *)
+
+module Allocator = Activermt_alloc.Allocator
+module Churn = Workload.Churn
+module Churn_pipeline = Experiments.Churn_pipeline
+module Harness = Experiments.Harness
+module Telemetry = Activermt_telemetry.Telemetry
+module Json = Activermt_telemetry.Json
+
+let params = Rmt.Params.default
+let min_batch_speedup = 10.0
+let target_arrivals_per_sec = 100_000.0
+let seed = 4242
+
+(* Sequential reference: the pre-batching control plane — one
+   Allocator.admit per arrival — over a prefix of the same churn trace.
+   A prefix because the whole point is that the sequential path cannot
+   keep up; replaying all 1M clients through it would take minutes. *)
+let measure_sequential ~prefix_arrivals zcfg =
+  let alloc = Allocator.create ~telemetry:(Telemetry.create ()) params in
+  let block_bytes = Rmt.Params.bytes_per_block params in
+  let rng = Stdx.Prng.create ~seed in
+  let trace = Churn.zipf_churn zcfg rng in
+  let done_ = ref 0 in
+  let admit_wall = ref 0.0 in
+  let step (e : Churn.epoch) =
+    List.iter
+      (function
+        | Churn.Arrive { fid; kind } ->
+          if !done_ < prefix_arrivals then begin
+            incr done_;
+            let a = Harness.arrival_of ~fid kind ~block_bytes in
+            let t0 = Unix.gettimeofday () in
+            ignore (Allocator.admit alloc a);
+            admit_wall := !admit_wall +. (Unix.gettimeofday () -. t0)
+          end
+        | Churn.Depart { fid } -> ignore (Allocator.depart alloc ~fid))
+      e.Churn.events;
+    !done_ < prefix_arrivals
+  in
+  let rec loop seq =
+    match seq () with
+    | Seq.Nil -> ()
+    | Seq.Cons (e, rest) -> if step e then loop rest
+  in
+  loop trace;
+  Allocator.shutdown alloc;
+  if !admit_wall > 0.0 then float_of_int !done_ /. !admit_wall else 0.0
+
+let json_section ~clients ~(r : Churn_pipeline.result) ~sequential_aps ~speedup =
+  let num v = Json.Num (Float.round (10.0 *. v) /. 10.0) in
+  Json.Obj
+    [
+      ("min_batch_speedup", Json.Num min_batch_speedup);
+      ("target_arrivals_per_sec", Json.Num target_arrivals_per_sec);
+      ("clients", Json.Num (float_of_int clients));
+      ("batch", Json.Num (float_of_int r.Churn_pipeline.batch));
+      ("seed", Json.Num (float_of_int seed));
+      ("epochs", Json.Num (float_of_int r.Churn_pipeline.epochs));
+      ("admitted", Json.Num (float_of_int r.Churn_pipeline.admitted));
+      ("rejected", Json.Num (float_of_int r.Churn_pipeline.rejected));
+      ("rescored", Json.Num (float_of_int r.Churn_pipeline.rescored));
+      ("memo_hits", Json.Num (float_of_int r.Churn_pipeline.memo_hits));
+      ("refills_saved", Json.Num (float_of_int r.Churn_pipeline.refills_saved));
+      ("batched_arrivals_per_sec", num r.Churn_pipeline.arrivals_per_sec);
+      ("sequential_arrivals_per_sec", num sequential_aps);
+      ("batch_speedup", Json.Num (Float.round (100.0 *. speedup) /. 100.0));
+      ( "modeled_arrivals_per_sec",
+        num r.Churn_pipeline.modeled_arrivals_per_sec );
+      ("p50_tts_ms", Json.Num r.Churn_pipeline.p50_tts_ms);
+      ("p99_tts_ms", Json.Num r.Churn_pipeline.p99_tts_ms);
+    ]
+
+(* Merge the churn section into BENCH_alloc.json without disturbing the
+   sections other bench entries own. *)
+let merge_into_bench_json ~path section =
+  let existing =
+    if Sys.file_exists path then
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.of_string text with Ok v -> Json.to_obj v | Error _ -> None
+    else None
+  in
+  let fields =
+    match existing with
+    | Some fields -> List.remove_assoc "churn" fields @ [ ("churn", section) ]
+    | None -> [ ("churn", section) ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true (Json.Obj fields));
+  output_char oc '\n';
+  close_out oc
+
+let run ~quick =
+  let clients = if quick then 50_000 else 1_000_000 in
+  let prefix_arrivals = if quick then 3_000 else 10_000 in
+  let zcfg = { Churn.default_zipf_config with Churn.clients } in
+  Printf.printf
+    "== Churn at scale: batched epoch admission (clients=%d, batch=%d) ==\n"
+    clients zcfg.Churn.batch;
+  let r =
+    Churn_pipeline.run ~clock:Unix.gettimeofday ~params ~seed zcfg
+  in
+  let sequential_aps = measure_sequential ~prefix_arrivals zcfg in
+  let speedup =
+    if sequential_aps > 0.0 then r.Churn_pipeline.arrivals_per_sec /. sequential_aps
+    else 0.0
+  in
+  Printf.printf
+    "batched     %9.1f arrivals/s  (%d epochs, %d admitted, %d rejected, %d \
+     rescored)\n"
+    r.Churn_pipeline.arrivals_per_sec r.Churn_pipeline.epochs
+    r.Churn_pipeline.admitted r.Churn_pipeline.rejected r.Churn_pipeline.rescored;
+  Printf.printf "sequential  %9.1f arrivals/s  (prefix of %d arrivals)\n"
+    sequential_aps prefix_arrivals;
+  Printf.printf "speedup     %9.2fx  (gate >= %.0fx; target %.0f arrivals/s)\n"
+    speedup min_batch_speedup target_arrivals_per_sec;
+  Printf.printf
+    "time-to-service (modeled)  p50 %.3f ms  p99 %.3f ms  max %.3f ms\n"
+    r.Churn_pipeline.p50_tts_ms r.Churn_pipeline.p99_tts_ms
+    r.Churn_pipeline.max_tts_ms;
+  Printf.printf "fills: %d coalesced stage refills, %d saved; %d memo hits\n"
+    r.Churn_pipeline.stage_refills r.Churn_pipeline.refills_saved
+    r.Churn_pipeline.memo_hits;
+  if r.Churn_pipeline.arrivals_per_sec < target_arrivals_per_sec then
+    Printf.printf "NOTE: below the %.0f arrivals/s target on this machine\n"
+      target_arrivals_per_sec;
+
+  let tel = Telemetry.default in
+  Telemetry.set_gauge tel "churn.bench.batched_arrivals_per_sec"
+    r.Churn_pipeline.arrivals_per_sec;
+  Telemetry.set_gauge tel "churn.bench.sequential_arrivals_per_sec" sequential_aps;
+  Telemetry.set_gauge tel "churn.bench.batch_speedup" speedup;
+  Telemetry.set_gauge tel "churn.bench.p99_tts_ms" r.Churn_pipeline.p99_tts_ms;
+
+  merge_into_bench_json ~path:"BENCH_alloc.json"
+    (json_section ~clients ~r ~sequential_aps ~speedup);
+  print_endline "merged churn section into BENCH_alloc.json";
+  if speedup < min_batch_speedup && Sys.getenv_opt "CHURN_PROFILE" = None then
+    failwith
+      (Printf.sprintf
+         "churn bench: batched admission %.2fx over sequential, below %.1fx gate"
+         speedup min_batch_speedup)

@@ -145,6 +145,11 @@ let experiments =
       run = (fun ~quick -> Chaos_bench.run ~quick);
     };
     {
+      name = "churn";
+      info = "Zipf churn at scale: batched epoch admission (BENCH_alloc.json)";
+      run = (fun ~quick -> Churn_bench.run ~quick);
+    };
+    {
       name = "device";
       info = "exec throughput: interpreter vs JIT closures (BENCH_alloc.json)";
       run = (fun ~quick -> Device_bench.run ~quick);

@@ -5,6 +5,8 @@
      disasm   decode instruction bytes (hex) back to assembly
      mutants  show the mutant space of a program under a policy
      allocsim replay a comma-separated arrival list against the allocator
+              (sequentially or in admission batches with --batch)
+     churnsim Zipf client churn through the batched epoch admission pipeline
      fleetsim replay a service workload against a multi-switch fleet
      faultsim run the protocol stack under a seeded fault profile
      tracequery filter and render a Chrome trace dump as causal trees
@@ -135,11 +137,15 @@ and cmd_mutants path policy =
     mutants;
   if List.length mutants > 50 then print_endline "  ..."
 
-and cmd_allocsim spec_str scheme policy domains no_jit metrics_out trace_out
-    trace_sample =
+and cmd_allocsim spec_str mixed seed batch scheme policy domains no_jit
+    metrics_out trace_out trace_sample =
   (* allocsim exercises only the control plane; the flag is accepted for
      symmetry with the other sim commands and recorded in the metrics. *)
   seed_jit_metrics ~enabled:(not no_jit);
+  if batch < 1 then begin
+    Printf.eprintf "error: --batch must be >= 1\n";
+    exit 1
+  end;
   let tracer = make_tracer trace_out trace_sample in
   let alloc = Allocator.create ~scheme ~policy ~domains ~tracer params in
   let next_fid = ref 0 in
@@ -151,41 +157,192 @@ and cmd_allocsim spec_str scheme policy domains no_jit metrics_out trace_out
     | "bloom" | "bloom-filter" -> Some Activermt_apps.Bloom.service
     | _ -> None
   in
-  String.split_on_char ',' spec_str
-  |> List.iter (fun name ->
-         let name = String.trim name in
-         match service_of name with
-         | None -> Printf.printf "?? unknown app %S (use cache|hh|lb|counter)\n" name
-         | Some app -> (
-           incr next_fid;
-           let arrival =
-             {
-               Allocator.fid = !next_fid;
-               spec = App.spec app;
-               elastic = app.App.elastic;
-               demand_blocks = app.App.demand_blocks;
-             }
-           in
-           let trace =
-             Trace.start_trace tracer
-               ~attrs:[ ("fid", string_of_int !next_fid); ("app", name) ]
-               "allocsim.arrival"
-           in
-           match Allocator.admit ?trace alloc arrival with
-           | Allocator.Admitted adm ->
-             Printf.printf "fid %d (%s): admitted; stages %s; reallocated %d apps; %.2f ms\n"
-               !next_fid name
-               (String.concat ","
-                  (List.map
-                     (fun r -> string_of_int r.Allocator.stage)
-                     adm.Allocator.regions))
-               (List.length adm.Allocator.reallocated)
-               (1000.0 *. adm.Allocator.compute_time_s)
-           | Allocator.Rejected r ->
-             Printf.printf "fid %d (%s): REJECTED after %d mutants (%.2f ms)\n"
-               !next_fid name r.Allocator.considered_mutants
-               (1000.0 *. r.Allocator.compute_time_s)));
+  let named =
+    String.split_on_char ',' spec_str
+    |> List.concat_map (fun name ->
+           let name = String.trim name in
+           if name = "" then []
+           else
+             match service_of name with
+             | None ->
+               Printf.printf "?? unknown app %S (use cache|hh|lb|counter|bloom)\n"
+                 name;
+               []
+             | Some app ->
+               incr next_fid;
+               [
+                 ( name,
+                   {
+                     Allocator.fid = !next_fid;
+                     spec = App.spec app;
+                     elastic = app.App.elastic;
+                     demand_blocks = app.App.demand_blocks;
+                   } );
+               ])
+  in
+  (* --mixed appends a seeded uniform-mix arrival stream (Figure 5b's
+     shape) so batch-vs-sequential comparisons exercise enough load to
+     see both admissions and rejections. *)
+  let generated =
+    match mixed with
+    | None -> []
+    | Some n ->
+      let module Churn = Workload.Churn in
+      let block_bytes = Rmt.Params.bytes_per_block params in
+      Churn.mixed_arrivals ~n (Stdx.Prng.create ~seed)
+      |> List.concat_map (fun (e : Churn.epoch) ->
+             List.filter_map
+               (function
+                 | Churn.Arrive { fid = _; kind } ->
+                   incr next_fid;
+                   Some
+                     ( Churn.kind_to_string kind,
+                       Experiments.Harness.arrival_of ~fid:!next_fid kind
+                         ~block_bytes )
+                 | Churn.Depart _ -> None)
+               e.Churn.events)
+  in
+  let arrivals = named @ generated in
+  let report name fid = function
+    | Allocator.Admitted adm ->
+      Printf.printf
+        "fid %d (%s): admitted; stages %s; reallocated %d apps; %.2f ms\n" fid
+        name
+        (String.concat ","
+           (List.map
+              (fun r -> string_of_int r.Allocator.stage)
+              adm.Allocator.regions))
+        (List.length adm.Allocator.reallocated)
+        (1000.0 *. adm.Allocator.compute_time_s)
+    | Allocator.Rejected r ->
+      Printf.printf "fid %d (%s): REJECTED after %d mutants (%.2f ms)\n" fid
+        name r.Allocator.considered_mutants
+        (1000.0 *. r.Allocator.compute_time_s)
+  in
+  if batch = 1 then
+    (* The pre-batching sequential path, one admit per arrival: the
+       reference side of the batch-decision-identity smoke. *)
+    List.iter
+      (fun (name, (a : Allocator.arrival)) ->
+        let trace =
+          Trace.start_trace tracer
+            ~attrs:[ ("fid", string_of_int a.Allocator.fid); ("app", name) ]
+            "allocsim.arrival"
+        in
+        report name a.Allocator.fid (Allocator.admit ?trace alloc a))
+      arrivals
+  else begin
+    (* Chunk the arrival stream into epochs of [batch] and admit each
+       through the batched pipeline. *)
+    let rec chunks = function
+      | [] -> []
+      | l ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: rest -> take (n - 1) (x :: acc) rest
+        in
+        let c, rest = take batch [] l in
+        c :: chunks rest
+    in
+    let epochs = ref 0 in
+    let memo_hits = ref 0 and rescored = ref 0 in
+    let stage_refills = ref 0 and refills_saved = ref 0 in
+    List.iter
+      (fun chunk ->
+        incr epochs;
+        let trace =
+          Trace.start_trace tracer
+            ~attrs:
+              [
+                ("epoch", string_of_int !epochs);
+                ("batch", string_of_int (List.length chunk));
+              ]
+            "allocsim.epoch"
+        in
+        let b = Allocator.admit_batch ?trace alloc (List.map snd chunk) in
+        List.iter2
+          (fun (name, (a : Allocator.arrival)) o ->
+            report name a.Allocator.fid o)
+          chunk b.Allocator.outcomes;
+        let s = b.Allocator.stats in
+        memo_hits := !memo_hits + s.Allocator.memo_hits;
+        rescored := !rescored + s.Allocator.rescored;
+        stage_refills := !stage_refills + s.Allocator.stage_refills;
+        refills_saved := !refills_saved + s.Allocator.refills_saved)
+      (chunks arrivals);
+    Printf.printf
+      "batch stats: %d epochs of <= %d, %d memo hits, %d rescored, %d stage \
+       refills (%d saved)\n"
+      !epochs batch !memo_hits !rescored !stage_refills !refills_saved
+  end;
   Printf.printf "final utilization: %.3f\n" (Allocator.utilization alloc);
+  write_metrics metrics_out;
+  write_trace tracer trace_out
+
+and cmd_churnsim clients batch resident seed summary_out metrics_out trace_out
+    trace_sample =
+  seed_jit_metrics ~enabled:true;
+  let module Churn = Workload.Churn in
+  let module Churn_pipeline = Experiments.Churn_pipeline in
+  let tracer = make_tracer trace_out trace_sample in
+  let zcfg =
+    { Churn.default_zipf_config with Churn.clients; batch; resident_target = resident }
+  in
+  let r = Churn_pipeline.run ~tracer ~params ~seed zcfg in
+  (* Deterministic stdout: counts and the modeled virtual clock only — no
+     wall-clock numbers — so two same-seed runs print (and with
+     --summary-out / --trace-out, dump) byte-identical artifacts for the
+     CI determinism job to [cmp]. *)
+  Printf.printf "churnsim: %d clients, batch %d, resident target %d, seed %d\n"
+    clients batch resident seed;
+  Printf.printf "epochs %d: admitted %d, rejected %d, rescored %d, memo hits %d\n"
+    r.Churn_pipeline.epochs r.Churn_pipeline.admitted r.Churn_pipeline.rejected
+    r.Churn_pipeline.rescored r.Churn_pipeline.memo_hits;
+  Printf.printf
+    "fills: %d stage refills (%d saved); %d departures; %d residents (util %.3f)\n"
+    r.Churn_pipeline.stage_refills r.Churn_pipeline.refills_saved
+    r.Churn_pipeline.departures r.Churn_pipeline.final_residents
+    r.Churn_pipeline.final_utilization;
+  Printf.printf
+    "modeled: %.6f s span, %.1f arrivals/s; tts p50 %.3f ms, p99 %.3f ms, max %.3f ms\n"
+    r.Churn_pipeline.modeled_span_s r.Churn_pipeline.modeled_arrivals_per_sec
+    r.Churn_pipeline.p50_tts_ms r.Churn_pipeline.p99_tts_ms
+    r.Churn_pipeline.max_tts_ms;
+  (match summary_out with
+  | None -> ()
+  | Some path ->
+    let num v = Json.Num v in
+    let int v = Json.Num (float_of_int v) in
+    let summary =
+      Json.Obj
+        [
+          ("clients", int clients);
+          ("batch", int batch);
+          ("resident_target", int resident);
+          ("seed", int seed);
+          ("epochs", int r.Churn_pipeline.epochs);
+          ("admitted", int r.Churn_pipeline.admitted);
+          ("rejected", int r.Churn_pipeline.rejected);
+          ("rescored", int r.Churn_pipeline.rescored);
+          ("memo_hits", int r.Churn_pipeline.memo_hits);
+          ("stage_refills", int r.Churn_pipeline.stage_refills);
+          ("refills_saved", int r.Churn_pipeline.refills_saved);
+          ("departures", int r.Churn_pipeline.departures);
+          ("final_residents", int r.Churn_pipeline.final_residents);
+          ("final_utilization", num r.Churn_pipeline.final_utilization);
+          ("modeled_span_s", num r.Churn_pipeline.modeled_span_s);
+          ("modeled_arrivals_per_sec", num r.Churn_pipeline.modeled_arrivals_per_sec);
+          ("p50_tts_ms", num r.Churn_pipeline.p50_tts_ms);
+          ("p99_tts_ms", num r.Churn_pipeline.p99_tts_ms);
+          ("max_tts_ms", num r.Churn_pipeline.max_tts_ms);
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Json.to_string ~pretty:true summary);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote churn summary to %s\n" path);
   write_metrics metrics_out;
   write_trace tracer trace_out
 
@@ -635,11 +792,71 @@ let no_jit_arg =
                 change."))
 
 let allocsim_cmd =
-  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"cache,hh,lb,...") in
+  let spec =
+    Arg.(value & pos 0 string "" & info [] ~docv:"cache,hh,lb,...")
+  in
+  let mixed_arg =
+    Arg.value
+      (Arg.opt (Arg.some positive_int) None
+         (Arg.info [ "mixed" ] ~docv:"N"
+            ~doc:"Append $(docv) seeded uniform-mix arrivals (--seed) after \
+                  the named apps, enough load to drive the pool to \
+                  rejection — the batch-decision-identity smoke's workload."))
+  in
+  let seed_arg =
+    Arg.value (Arg.opt Arg.int 3001 (Arg.info [ "seed" ] ~docv:"SEED"))
+  in
+  let batch_arg =
+    Arg.value
+      (Arg.opt positive_int 1
+         (Arg.info [ "batch" ] ~docv:"N"
+            ~doc:"Admit arrivals in epochs of $(docv) through the batched \
+                  pipeline (Allocator.admit_batch).  The default 1 replays \
+                  them one at a time through the sequential path; decisions \
+                  are identical either way."))
+  in
   Cmd.v (Cmd.info "allocsim" ~doc:"replay arrivals against the allocator")
     Term.(
-      const cmd_allocsim $ spec $ scheme_arg $ policy_arg $ domains_arg
-      $ no_jit_arg $ metrics_out_arg $ trace_out_arg $ trace_sample_arg)
+      const cmd_allocsim $ spec $ mixed_arg $ seed_arg $ batch_arg
+      $ scheme_arg $ policy_arg $ domains_arg $ no_jit_arg $ metrics_out_arg
+      $ trace_out_arg $ trace_sample_arg)
+
+let churnsim_cmd =
+  let clients_arg =
+    Arg.value
+      (Arg.opt positive_int 50_000
+         (Arg.info [ "clients" ] ~docv:"N"
+            ~doc:"Total simulated clients arriving over the run."))
+  in
+  let batch_arg =
+    Arg.value
+      (Arg.opt positive_int 64
+         (Arg.info [ "batch" ] ~docv:"N" ~doc:"Arrivals per admission epoch."))
+  in
+  let target_arg =
+    Arg.value
+      (Arg.opt positive_int 64
+         (Arg.info [ "target" ] ~docv:"N"
+            ~doc:"Resident target: uniform departures trim the alive set \
+                  back to $(docv) after each epoch."))
+  in
+  let seed_arg =
+    Arg.value (Arg.opt Arg.int 4242 (Arg.info [ "seed" ] ~docv:"SEED"))
+  in
+  let summary_out_arg =
+    Arg.value
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "summary-out" ] ~docv:"FILE"
+            ~doc:"Write the deterministic churn summary (counts and \
+                  modeled-clock metrics only, no wall times) as JSON to \
+                  $(docv); same-seed runs produce byte-identical files."))
+  in
+  Cmd.v
+    (Cmd.info "churnsim"
+       ~doc:"Zipf client churn through the batched epoch admission pipeline")
+    Term.(
+      const cmd_churnsim $ clients_arg $ batch_arg $ target_arg $ seed_arg
+      $ summary_out_arg $ metrics_out_arg $ trace_out_arg $ trace_sample_arg)
 
 let fleetsim_cmd =
   let module Placement = Activermt_fleet.Placement in
@@ -818,5 +1035,6 @@ let p4gen_cmd =
 let () =
   let info = Cmd.info "activermt" ~doc:"ActiveRMT tools (SIGCOMM 2023 reproduction)" in
   exit (Cmd.eval (Cmd.group info
-       [ asm_cmd; disasm_cmd; mutants_cmd; allocsim_cmd; fleetsim_cmd;
-         faultsim_cmd; tracequery_cmd; trace_cmd; apps_cmd; p4gen_cmd ]))
+       [ asm_cmd; disasm_cmd; mutants_cmd; allocsim_cmd; churnsim_cmd;
+         fleetsim_cmd; faultsim_cmd; tracequery_cmd; trace_cmd; apps_cmd;
+         p4gen_cmd ]))

@@ -45,6 +45,34 @@ type rejected = { considered_mutants : int; compute_time_s : float }
 
 type outcome = Admitted of admitted | Rejected of rejected
 
+type batch_stats = {
+  batch_size : int;
+  batch_admitted : int;
+  batch_rejected : int;
+  memo_hits : int;
+      (** arrivals whose scoring was answered from the epoch's memo
+          (same program shape, elasticity and demand as an earlier
+          arrival scored against the same shared snapshot) *)
+  rescored : int;
+      (** conflict fallbacks: arrivals whose snapshot-chosen placement was
+          consumed by an earlier commit and were re-scored sequentially
+          against a fresh snapshot *)
+  stage_refills : int;  (** coalesced [Pool.refill_elastic] calls *)
+  refills_saved : int;
+      (** per-(arrival, stage) refills a sequential replay would have run
+          minus [stage_refills] *)
+  batch_compute_time_s : float;
+}
+
+type batch = {
+  outcomes : outcome list;  (** 1:1 with the arrivals, in order *)
+  batch_reallocated : (int * stage_range list) list;
+      (** deduplicated union of pre-existing apps whose placement changed
+          anywhere in the epoch, with their full new layouts — what the
+          controller must snapshot and reinstall, once per epoch *)
+  stats : batch_stats;
+}
+
 type t
 
 val create :
@@ -92,6 +120,36 @@ val admit : ?trace:Trace.ctx -> t -> arrival -> outcome
     call emits no trace events at all.
     @raise Invalid_argument if the FID is already resident or the demand
     array does not match the spec's accesses. *)
+
+val admit_batch : ?trace:Trace.ctx -> t -> arrival list -> batch
+(** Epoch admission: score the k arrivals against one shared pool
+    snapshot (memoizing the score per distinct program shape / elasticity
+    / demand) and commit the compatible subset together.
+
+    Each chosen placement is re-checked against the live pool counters
+    before its commit; within an epoch resources only shrink, so only a
+    snapshot-feasible choice can be invalidated by an earlier commit.  On
+    such a conflict the arrival is re-scored sequentially against a fresh
+    snapshot (counted in [stats.rescored]), which the rest of the epoch
+    then shares.  Elastic-layout refills are coalesced to one
+    [Pool.refill_elastic] per touched stage at the batch tail, and the
+    reallocation diff is computed once per epoch.
+
+    [admit_batch t [a]] makes bit-identical decisions, placements and
+    reallocation reports to [admit t a] (modulo measured
+    [compute_time_s]); larger batches keep admit/reject soundness (every
+    commit is validated against live state) but may place differently
+    than a sequential replay when arrivals contend for the same space.
+
+    Telemetry: in addition to [admit]'s per-arrival counters, emits
+    [alloc.batch.count/arrivals/memo_hits/conflicts/refills_saved]
+    counters, an [alloc.admit_batch] span, and (when traced) an
+    [alloc.fill] instant carrying the coalescing attributes
+    ([stage_refills], [refills_saved], [rescored], [reallocated]).
+
+    @raise Invalid_argument before any commit if an arrival's FID is
+    already resident or duplicated within the batch, or a demand array
+    does not match its spec. *)
 
 val depart : ?trace:Trace.ctx -> t -> fid:int -> (int * stage_range list) list
 (** Remove the app; returns the apps reallocated (expanded) as a result.

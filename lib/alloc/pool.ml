@@ -236,6 +236,19 @@ let progressive_fill mins budget =
     out
   end
 
+(* Batched admission commits several arrivals before re-packing elastic
+   layouts: a commit that raises the high-water mark would make the block
+   map's stale elastic ranges (from the last refill, below the new mark)
+   look like overlaps.  Withdrawing the shares keeps the map consistent
+   without changing any decision input — feasibility reads counters, and
+   hole scans only look below the high-water mark, where elastic apps
+   never hold blocks.  The next [refill_elastic] recomputes every share
+   from scratch. *)
+let unfill_elastic t =
+  List.iter (fun s -> s.erange <- { first_block = 0; n_blocks = 0 }) t.elastic;
+  t.c_eblocks <- 0;
+  t.dirty <- true
+
 let refill_elastic t =
   let apps = Array.of_list t.elastic in
   let mins = Array.map (fun s -> s.emin) apps in

@@ -62,6 +62,15 @@ val add_elastic : t -> fid:int -> min_blocks:int -> (unit, [ `No_space ]) result
 val remove : t -> fid:int -> bool
 (** Remove a resident; true if it was present. *)
 
+val unfill_elastic : t -> unit
+(** Withdraw every elastic share (ranges zeroed, counters adjusted) until
+    the next {!refill_elastic} recomputes them.  Batched admission calls
+    this on a stage's first commit of an epoch so deferred refills can't
+    leave stale elastic ranges below a rising high-water mark, where the
+    block map would flag them as overlaps.  No decision input changes:
+    feasibility reads counters and hole scans stop at the high-water
+    mark. *)
+
 val refill_elastic : t -> (int * range) list
 (** Recompute elastic shares by progressive filling and repack them above
     the high-water mark.  Returns the new (fid, range) layout of all

@@ -33,6 +33,8 @@ type t = {
   pass_limits : (Activermt.Packet.fid, int) Hashtbl.t;
   mutable pending : pending option;
   mutable log : Cost_model.breakdown list;
+  queue : (Activermt.Packet.t * Trace.ctx option) Queue.t;
+  mutable epoch_counter : int;
   tel : Telemetry.t;
   tracer : Trace.t;
   admit_traces : (Activermt.Packet.fid, Trace.ctx) Hashtbl.t;
@@ -61,6 +63,8 @@ let create ?scheme ?policy ?(cost = Cost_model.default) ?(mode = `Auto)
     pass_limits = Hashtbl.create 8;
     pending = None;
     log = [];
+    queue = Queue.create ();
+    epoch_counter = 0;
   }
 
 let tables t = t.tables
@@ -351,6 +355,274 @@ let handle_request ?trace t (pkt : Activermt.Packet.t) =
           phase;
           timing;
         })
+
+(* --- Async provision queue: enqueue + epoch drain ------------------- *)
+
+type epoch_result = {
+  epoch_index : int;
+  results :
+    (provision, [ `Rejected of Allocator.rejected | `Bad_packet of string ]) result
+    list;
+  epoch_timing : Cost_model.breakdown;
+  installs : int;
+  batch : Allocator.batch_stats option;
+}
+
+let enqueue_request ?trace t (pkt : Activermt.Packet.t) =
+  Telemetry.incr t.tel "control.enqueued";
+  let trace =
+    match trace with
+    | None -> None
+    | Some c ->
+      Some
+        (Trace.instant t.tracer c
+           ~attrs:[ ("fid", string_of_int pkt.Activermt.Packet.fid) ]
+           "control.enqueue")
+  in
+  Queue.add (pkt, trace) t.queue
+
+let queue_depth t = Queue.length t.queue
+
+let dup_provision t ~fid ~flags =
+  Telemetry.incr t.tel "control.dup_requests";
+  {
+    fid;
+    response = response_packet t ~fid ~flags ~granted:true;
+    reallocated = [];
+    phase = Committed;
+    timing =
+      Cost_model.breakdown t.cost ~allocation_s:0.0 ~entries_updated:0
+        ~apps_touched:0 ~words_snapshotted:0 ~notifications:1;
+  }
+
+let add_breakdown (a : Cost_model.breakdown) (b : Cost_model.breakdown) =
+  {
+    Cost_model.allocation_s = a.Cost_model.allocation_s +. b.Cost_model.allocation_s;
+    table_update_s = a.Cost_model.table_update_s +. b.Cost_model.table_update_s;
+    snapshot_s = a.Cost_model.snapshot_s +. b.Cost_model.snapshot_s;
+    notify_s = a.Cost_model.notify_s +. b.Cost_model.notify_s;
+  }
+
+let zero_breakdown =
+  {
+    Cost_model.allocation_s = 0.0;
+    table_update_s = 0.0;
+    snapshot_s = 0.0;
+    notify_s = 0.0;
+  }
+
+(* One admission epoch over up to [max_batch] queued requests (Auto mode):
+   classify slots, score fresh arrivals together through
+   [Allocator.admit_batch], then commit the whole epoch through a single
+   batched table-write session — each touched app's tables are
+   (re)installed exactly once, so [Table.epoch] bumps once per app per
+   epoch and the JIT invalidates once, not k times. *)
+let drain_epoch_auto t slots =
+  let epoch_index = t.epoch_counter in
+  t.epoch_counter <- epoch_index + 1;
+  Telemetry.incr t.tel "control.epochs";
+  Telemetry.span_begin t.tel "control.epoch";
+  let ectx =
+    Trace.start_trace t.tracer
+      ~attrs:
+        [
+          ("epoch", string_of_int epoch_index);
+          ("batch", string_of_int (List.length slots));
+        ]
+      "control.epoch"
+  in
+  let t_epoch_start = Trace.now t.tracer in
+  (* Classify each slot in enqueue order.  Requests for FIDs already
+     resident are network duplicates / client retries; a second request
+     for the same FID within the epoch is an intra-epoch echo resolved
+     from its primary's outcome.  Neither reaches the allocator. *)
+  let seen = Hashtbl.create 16 in
+  let arrivals_rev = ref [] in
+  let n_arrivals = ref 0 in
+  let classify (pkt, _tr) =
+    match pkt.Activermt.Packet.payload with
+    | Activermt.Packet.Response _ | Activermt.Packet.Exec _ | Activermt.Packet.Bare
+      ->
+      `Bad "not an allocation request"
+    | Activermt.Packet.Request req -> (
+      let fid = pkt.Activermt.Packet.fid in
+      if Allocator.is_resident t.allocator ~fid then `Dup
+      else
+        match Hashtbl.find_opt seen fid with
+        | Some i -> `Echo i
+        | None ->
+          let flags = pkt.Activermt.Packet.flags in
+          let arrival =
+            {
+              Allocator.fid;
+              spec = Spec.of_request req;
+              elastic = flags.Activermt.Packet.elastic;
+              demand_blocks =
+                Array.of_list
+                  (List.map
+                     (fun a -> max 1 a.Activermt.Packet.demand_blocks)
+                     req.Activermt.Packet.accesses);
+            }
+          in
+          let i = !n_arrivals in
+          Hashtbl.replace seen fid i;
+          incr n_arrivals;
+          arrivals_rev := arrival :: !arrivals_rev;
+          `Fresh i)
+  in
+  let classes = List.map (fun s -> (s, classify s)) slots in
+  let arrivals = List.rev !arrivals_rev in
+  let batch =
+    Telemetry.with_span t.tel "control.allocation" (fun () ->
+        Allocator.admit_batch ?trace:ectx t.allocator arrivals)
+  in
+  let outcomes = Array.of_list batch.Allocator.outcomes in
+  (* Record the virtual-addressing choice of every admitted arrival before
+     any table install reads it. *)
+  List.iter
+    (fun ((pkt, _), cls) ->
+      match cls with
+      | `Fresh i -> (
+        match outcomes.(i) with
+        | Allocator.Admitted _ ->
+          Hashtbl.replace t.virtual_flags pkt.Activermt.Packet.fid
+            pkt.Activermt.Packet.flags.Activermt.Packet.virtual_addressing
+        | Allocator.Rejected _ -> ())
+      | `Bad _ | `Dup | `Echo _ -> ())
+    classes;
+  let realloc_fids = List.map fst batch.Allocator.batch_reallocated in
+  let admitted_fids =
+    List.filter_map
+      (function
+        | Allocator.Admitted adm -> Some adm.Allocator.fid
+        | Allocator.Rejected _ -> None)
+      batch.Allocator.outcomes
+  in
+  let words =
+    Telemetry.with_span t.tel "control.snapshot" (fun () ->
+        List.fold_left (fun acc f -> acc + take_snapshot t ~fid:f) 0 realloc_fids)
+  in
+  Activermt.Table.reset_update_stats t.tables;
+  Telemetry.span_begin t.tel "control.table_update";
+  List.iter (fun f -> commit_app t ~fid:f) realloc_fids;
+  List.iter (fun f -> commit_new_app t ~fid:f) admitted_fids;
+  List.iter (fun f -> copy_snapshot_to_new_region t ~fid:f) realloc_fids;
+  Telemetry.span_end t.tel (* control.table_update *);
+  let stats = Activermt.Table.update_stats t.tables in
+  let entries =
+    stats.Activermt.Table.entries_added + stats.Activermt.Table.entries_removed
+  in
+  let installs = List.length realloc_fids + List.length admitted_fids in
+  let epoch_timing =
+    Cost_model.breakdown_batched t.cost
+      ~allocation_s:batch.Allocator.stats.Allocator.batch_compute_time_s
+      ~entries_updated:entries ~words_snapshotted:words ~notifications:installs
+  in
+  t.log <- epoch_timing :: t.log;
+  Telemetry.incr t.tel ~by:(List.length admitted_fids) "control.provisions";
+  Telemetry.incr t.tel
+    ~by:batch.Allocator.stats.Allocator.batch_rejected
+    "control.rejections";
+  (match ectx with
+  | None -> ()
+  | Some c ->
+    List.iter
+      (fun fid ->
+        let pctx =
+          Trace.span t.tracer c
+            ~attrs:[ ("fid", string_of_int fid) ]
+            ~t_start:t_epoch_start ~t_end:(Trace.now t.tracer) "control.provision"
+        in
+        Hashtbl.replace t.admit_traces fid pctx)
+      admitted_fids);
+  let results =
+    List.map
+      (fun ((pkt, tr), cls) ->
+        let fid = pkt.Activermt.Packet.fid in
+        let flags = pkt.Activermt.Packet.flags in
+        match cls with
+        | `Bad msg -> Error (`Bad_packet msg)
+        | `Dup ->
+          (match tr with
+          | None -> ()
+          | Some c ->
+            ignore
+              (Trace.instant t.tracer c
+                 ~attrs:[ ("fid", string_of_int fid) ]
+                 "control.dup_request"));
+          Ok (dup_provision t ~fid ~flags)
+        | `Echo i -> (
+          (* Intra-epoch duplicate: answer from the primary's outcome,
+             never allocate twice. *)
+          match outcomes.(i) with
+          | Allocator.Rejected r -> Error (`Rejected r)
+          | Allocator.Admitted _ -> Ok (dup_provision t ~fid ~flags))
+        | `Fresh i -> (
+          match outcomes.(i) with
+          | Allocator.Rejected r -> Error (`Rejected r)
+          | Allocator.Admitted adm ->
+            Ok
+              {
+                fid;
+                response = response_packet t ~fid ~flags ~granted:true;
+                reallocated = List.map fst adm.Allocator.reallocated;
+                phase = Committed;
+                timing = epoch_timing;
+              }))
+      classes
+  in
+  Telemetry.span_end t.tel (* control.epoch *);
+  { epoch_index; results; epoch_timing; installs; batch = Some batch.Allocator.stats }
+
+(* Interactive mode defers commits behind client-side extraction, which is
+   inherently per-admission — fall back to the sequential digest path. *)
+let drain_epoch_interactive t slots =
+  let epoch_index = t.epoch_counter in
+  t.epoch_counter <- epoch_index + 1;
+  Telemetry.incr t.tel "control.epochs";
+  let results = List.map (fun (pkt, tr) -> handle_request ?trace:tr t pkt) slots in
+  let epoch_timing =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Ok p -> add_breakdown acc p.timing
+        | Error (`Rejected (r : Allocator.rejected)) ->
+          add_breakdown acc
+            (Cost_model.breakdown t.cost ~allocation_s:r.Allocator.compute_time_s
+               ~entries_updated:0 ~apps_touched:0 ~words_snapshotted:0
+               ~notifications:1)
+        | Error (`Bad_packet _) -> acc)
+      zero_breakdown results
+  in
+  let installs =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Ok p -> acc + 1 + List.length p.reallocated
+        | Error _ -> acc)
+      0 results
+  in
+  { epoch_index; results; epoch_timing; installs; batch = None }
+
+let drain ?(max_batch = 64) t =
+  if max_batch <= 0 then invalid_arg "Controller.drain: max_batch must be positive";
+  let epochs = ref [] in
+  while not (Queue.is_empty t.queue) do
+    let slots = ref [] in
+    let n = ref 0 in
+    while (not (Queue.is_empty t.queue)) && !n < max_batch do
+      slots := Queue.pop t.queue :: !slots;
+      incr n
+    done;
+    let slots = List.rev !slots in
+    let epoch =
+      match t.mode with
+      | `Auto -> drain_epoch_auto t slots
+      | `Interactive -> drain_epoch_interactive t slots
+    in
+    epochs := epoch :: !epochs
+  done;
+  List.rev !epochs
 
 let finish_pending_if_done t =
   match t.pending with

@@ -77,6 +77,62 @@ val handle_request :
     from the existing allocation — [reallocated = []], zero-work timing,
     counted under [control.dup_requests] — never allocated twice. *)
 
+(** {2 Async provision queue (batched epoch admission)}
+
+    The pipelined alternative to the one-digest-at-a-time path:
+    [enqueue_request] is the cheap producer side (what the digest
+    interrupt handler would do on a real switch), and [drain] admits the
+    backlog in epochs of up to [max_batch] requests.  Each epoch scores
+    its arrivals against one shared pool snapshot
+    ({!Allocator.admit_batch}), commits every touched app's tables
+    exactly once through a single batched write session
+    ({!Cost_model.breakdown_batched}), and overlaps client notification
+    round trips with the next epoch's scoring. *)
+
+type epoch_result = {
+  epoch_index : int;  (** 0-based, monotonic across [drain] calls *)
+  results :
+    (provision, [ `Rejected of Allocator.rejected | `Bad_packet of string ]) result
+    list;
+      (** 1:1 with the epoch's requests, in enqueue order.  Admitted
+          provisions share the epoch's batched [timing]. *)
+  epoch_timing : Cost_model.breakdown;
+      (** one batched table-write session for the whole epoch *)
+  installs : int;
+      (** table (re)installs performed: each admitted or reallocated app
+          exactly once, so each FID's [Table.epoch] advances once per
+          epoch and the JIT invalidates once, not once per arrival *)
+  batch : Allocator.batch_stats option;
+      (** the allocator's epoch statistics ([None] in [`Interactive]
+          mode, which falls back to sequential {!handle_request}) *)
+}
+
+val enqueue_request : ?trace:Trace.ctx -> t -> Activermt.Packet.t -> unit
+(** Queue an allocation request for the next [drain].  Constant-time; no
+    allocator or table work happens here.  Counted under
+    [control.enqueued]; with a trace context, emits a [control.enqueue]
+    instant and the stored context chains the eventual provision back to
+    the request's trace. *)
+
+val queue_depth : t -> int
+
+val drain : ?max_batch:int -> t -> epoch_result list
+(** Admit the whole backlog in epochs of up to [max_batch] (default 64)
+    requests, oldest first; [] if the queue is empty.
+
+    FID-idempotent like {!handle_request}: requests for already-resident
+    FIDs are answered from the existing allocation, and a duplicate FID
+    {e within} an epoch is an intra-epoch echo answered from its
+    primary's outcome — the allocator sees each FID at most once.  Both
+    count under [control.dup_requests].
+
+    Each epoch emits a [control.epoch] trace span (attrs [epoch],
+    [batch]) parenting the allocator's spans and one [control.provision]
+    child span per admitted FID (registered in {!admit_trace}), plus
+    [control.epochs] / [control.provisions] / [control.rejections]
+    counters.
+    @raise Invalid_argument if [max_batch <= 0]. *)
+
 val handle_departure :
   ?trace:Trace.ctx ->
   t ->

@@ -17,6 +17,12 @@ type t = {
   snapshot_word_s : float;  (** per 32-bit register word snapshotted *)
   notify_rtt_s : float;  (** controller<->client notification round trip *)
   digest_s : float;  (** data-plane digest to switch CPU per request *)
+  batch_setup_s : float;
+      (** fixed cost of opening/flushing one batched BFRT write session
+          per admission epoch (RBFRT-style) *)
+  batched_entry_update_s : float;
+      (** per entry added or removed inside a batched write — amortized,
+          an order of magnitude-plus below [table_entry_update_s] *)
 }
 
 val default : t
@@ -30,9 +36,10 @@ val p4_reprovision_blackout_s : float
 
 val degrade : t -> slowdown:float -> t
 (** A cost model whose control-plane table work ([table_entry_update_s],
-    [app_install_s]) runs [slowdown] times slower — the fault simulator's
-    "slow table updates" knob (a congested or flaky BFRT session).
-    Snapshot/notify costs are unchanged.
+    [app_install_s], [batch_setup_s], [batched_entry_update_s]) runs
+    [slowdown] times slower — the fault simulator's "slow table updates"
+    knob (a congested or flaky BFRT session).  Snapshot/notify costs are
+    unchanged.
     @raise Invalid_argument if [slowdown < 1]. *)
 
 type breakdown = {
@@ -52,3 +59,16 @@ val breakdown :
   words_snapshotted:int ->
   notifications:int ->
   breakdown
+
+val breakdown_batched :
+  t ->
+  allocation_s:float ->
+  entries_updated:int ->
+  words_snapshotted:int ->
+  notifications:int ->
+  breakdown
+(** Cost of one admission epoch committed through a single batched BFRT
+    write session: [batch_setup_s] once plus [batched_entry_update_s] per
+    entry (no per-app install cost — apps ride the shared batch), and at
+    most one un-overlapped notification round trip because the async
+    provision queue overlaps the rest with the next epoch's scoring. *)

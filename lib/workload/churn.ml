@@ -77,3 +77,83 @@ let mixed_arrivals ~n rng =
         index = i;
         events = [ Arrive { fid = i + 1; kind = Stdx.Prng.choose rng all_kinds } ];
       })
+
+type zipf_config = {
+  clients : int;
+  batch : int;
+  resident_target : int;
+  exponent : float;
+  zipf_kinds : kind array;
+}
+
+let default_zipf_config =
+  {
+    clients = 50_000;
+    batch = 64;
+    resident_target = 64;
+    exponent = 0.99;
+    zipf_kinds = extended_kinds;
+  }
+
+let zipf_churn config rng =
+  if config.clients < 0 then invalid_arg "Churn.zipf_churn: clients < 0";
+  if config.batch <= 0 then invalid_arg "Churn.zipf_churn: batch <= 0";
+  if config.resident_target < 0 then
+    invalid_arg "Churn.zipf_churn: resident_target < 0";
+  if Array.length config.zipf_kinds = 0 then
+    invalid_arg "Churn.zipf_churn: empty kinds";
+  let zipf =
+    Zipf.create ~exponent:config.exponent
+      ~n:(Array.length config.zipf_kinds)
+      (Stdx.Prng.split rng)
+  in
+  (* Swap-remove array of fids assumed alive in the generated sequence so a
+     uniform departure is O(1); the consumer's allocator may have rejected
+     some of them, which is fine — departures of non-resident fids are
+     no-ops downstream. *)
+  let alive = ref (Array.make 64 0) in
+  let n_alive = ref 0 in
+  let push fid =
+    if !n_alive = Array.length !alive then begin
+      let grown = Array.make (2 * Array.length !alive) 0 in
+      Array.blit !alive 0 grown 0 !n_alive;
+      alive := grown
+    end;
+    !alive.(!n_alive) <- fid;
+    incr n_alive
+  in
+  let pop_uniform () =
+    let i = Stdx.Prng.int rng !n_alive in
+    let fid = !alive.(i) in
+    !alive.(i) <- !alive.(!n_alive - 1);
+    decr n_alive;
+    fid
+  in
+  let next_fid = ref 1 in
+  let remaining = ref config.clients in
+  let index = ref 0 in
+  let rec next () =
+    if !remaining = 0 then Seq.Nil
+    else begin
+      let n_arr = min config.batch !remaining in
+      remaining := !remaining - n_arr;
+      let arrivals = ref [] in
+      for _ = 1 to n_arr do
+        let fid = !next_fid in
+        incr next_fid;
+        let kind = config.zipf_kinds.(Zipf.sample zipf) in
+        push fid;
+        arrivals := Arrive { fid; kind } :: !arrivals
+      done;
+      let departures = ref [] in
+      while !n_alive > config.resident_target do
+        departures := Depart { fid = pop_uniform () } :: !departures
+      done;
+      let epoch =
+        { index = !index; events = List.rev !arrivals @ List.rev !departures }
+      in
+      incr index;
+      Seq.Cons (epoch, next)
+    end
+  in
+  next

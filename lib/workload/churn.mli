@@ -48,3 +48,31 @@ val arrivals_sequence : kind -> n:int -> epoch list
 
 val mixed_arrivals : n:int -> Stdx.Prng.t -> epoch list
 (** [n] single-arrival epochs, kind uniform at random: Figure 5b. *)
+
+type zipf_config = {
+  clients : int;  (** total arrivals to generate across the sequence *)
+  batch : int;  (** arrivals per epoch (the admission batch size) *)
+  resident_target : int;
+      (** uniform departures trim the alive set back to this after each
+          epoch's arrivals, keeping the switch near steady-state load *)
+  exponent : float;  (** Zipf exponent over [zipf_kinds] popularity ranks *)
+  zipf_kinds : kind array;  (** popularity order: index 0 is the head *)
+}
+
+val default_zipf_config : zipf_config
+(** 50k clients, batch 64, resident target 64, exponent 0.99 over
+    [extended_kinds] — the CI churn smoke configuration; the full bench
+    raises [clients] to 1M. *)
+
+val zipf_churn : zipf_config -> Stdx.Prng.t -> epoch Seq.t
+(** Large-scale client churn under Zipf program popularity: each epoch
+    carries [batch] fresh arrivals (unique, increasing FIDs; kind drawn
+    Zipf-distributed from [zipf_kinds]) followed by uniform departures
+    down to [resident_target].  Lazy so 1M clients never materialize as a
+    list.
+
+    The sequence is {e ephemeral} (it advances an internal PRNG stream):
+    force it once, front to back.  Two generators built from equal-seed
+    PRNGs yield identical sequences.
+    @raise Invalid_argument on negative [clients]/[resident_target],
+    non-positive [batch] or empty [zipf_kinds]. *)

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Batch-decision-identity check for the churn CI step.
+
+Compares two allocsim runs of the same seeded workload — one replayed
+sequentially (--batch 1), one through the batched epoch admission
+pipeline (--batch 64) — and fails unless they admit exactly the same
+clients:
+
+  * the set of admitted FIDs must be identical;
+  * the set of rejected FIDs (and hence the rejection count) must be
+    identical;
+  * every FID must appear exactly once per run.
+
+Placements (stage lists), reallocation counts and compute times are
+allowed to differ: the batched pipeline scores against an epoch-shared
+snapshot and coalesces elastic refills, so it may pick a different
+mutant for the same admitted program.  Who gets in is the contract;
+where they land is the allocator's business.
+
+Vacuity guards, in the spirit of jit_smoke_compare.py:
+
+  * both runs must admit at least one arrival AND reject at least one —
+    a workload that never fills the switch (or never fits) can't
+    distinguish the two paths;
+  * the batched run must actually have batched: its "batch stats" footer
+    must report at least one epoch and a batch width > 1;
+  * the sequential run must NOT have a batch footer.
+
+Usage: batch_smoke_compare.py SEQUENTIAL_OUT BATCHED_OUT
+"""
+
+import re
+import sys
+
+ARRIVAL = re.compile(r"^fid (\d+) \(([\w-]+)\): (admitted|REJECTED)")
+BATCH_FOOTER = re.compile(r"^batch stats: (\d+) epochs of <= (\d+),")
+
+
+def parse(path):
+    admitted, rejected = set(), set()
+    batch_footer = None
+    with open(path) as f:
+        for line in f:
+            m = ARRIVAL.match(line)
+            if m:
+                fid, verdict = int(m.group(1)), m.group(3)
+                if fid in admitted or fid in rejected:
+                    raise SystemExit(f"{path}: fid {fid} reported twice")
+                (admitted if verdict == "admitted" else rejected).add(fid)
+            m = BATCH_FOOTER.match(line)
+            if m:
+                batch_footer = (int(m.group(1)), int(m.group(2)))
+    return admitted, rejected, batch_footer
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    seq_path, batch_path = sys.argv[1:]
+    seq_adm, seq_rej, seq_footer = parse(seq_path)
+    bat_adm, bat_rej, bat_footer = parse(batch_path)
+
+    failures = []
+
+    # Vacuity guards.
+    if not seq_adm or not seq_rej:
+        failures.append(
+            f"sequential run is vacuous: {len(seq_adm)} admitted, "
+            f"{len(seq_rej)} rejected (need both > 0)"
+        )
+    if seq_footer is not None:
+        failures.append(
+            f"sequential run has a batch footer {seq_footer} — was it run with --batch?"
+        )
+    if bat_footer is None:
+        failures.append("batched run has no 'batch stats' footer — did it batch at all?")
+    else:
+        epochs, width = bat_footer
+        if epochs < 1 or width <= 1:
+            failures.append(
+                f"batched run is vacuous: {epochs} epochs of width {width}"
+            )
+
+    # Decision identity.
+    if seq_adm != bat_adm:
+        only_seq = sorted(seq_adm - bat_adm)
+        only_bat = sorted(bat_adm - seq_adm)
+        failures.append(
+            f"admitted-FID sets differ: sequential-only {only_seq[:10]}, "
+            f"batched-only {only_bat[:10]}"
+        )
+    if seq_rej != bat_rej:
+        failures.append(
+            f"rejected-FID sets differ: {len(seq_rej)} sequential vs {len(bat_rej)} batched"
+        )
+    if (seq_adm | seq_rej) != (bat_adm | bat_rej):
+        failures.append("runs saw different arrival populations")
+
+    if failures:
+        print("batch smoke: decision-identity FAILED")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(
+        f"batch smoke: {len(seq_adm)} admitted + {len(seq_rej)} rejected FIDs "
+        f"identical between --batch 1 and the batched pipeline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

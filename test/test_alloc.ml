@@ -7,6 +7,7 @@ module Allocator = Activermt_alloc.Allocator
 module Spec = Activermt_compiler.Spec
 module Mutant = Activermt_compiler.Mutant
 module App = Activermt_apps.App
+module Trace = Activermt_telemetry.Trace
 
 let params = Rmt.Params.default
 
@@ -474,6 +475,166 @@ let test_depart_only_touches_demand_stages () =
     used_after;
   Alcotest.(check bool) "hh still resident" true (Allocator.is_resident alloc ~fid:2)
 
+(* -- Allocator: batched epoch admission ---------------------------------- *)
+
+(* The contract admit_batch promises in its mli: a singleton batch makes
+   bit-identical decisions, placements and reallocation reports to the
+   sequential path (compute_time_s excepted).  Replayed over random
+   arrival/departure interleavings and all four schemes, against a twin
+   allocator driven through [admit]. *)
+let prop_batch_singleton_matches_admit =
+  QCheck.Test.make ~name:"admit_batch [a] = admit a, all schemes" ~count:12
+    QCheck.(
+      pair (int_range 0 3) (make Gen.(list_size (int_range 5 40) (int_range 0 3))))
+    (fun (scheme_i, ops) ->
+      let scheme = List.nth schemes scheme_i in
+      let seq = Allocator.create ~scheme params in
+      let bat = Allocator.create ~scheme params in
+      let next = ref 0 in
+      let live = ref [] in
+      List.for_all
+        (fun op ->
+          if op = 3 && !live <> [] then begin
+            let fid = List.hd !live in
+            live := List.tl !live;
+            Allocator.depart seq ~fid = Allocator.depart bat ~fid
+          end
+          else begin
+            incr next;
+            let arrival =
+              match op with
+              | 0 -> cache_arrival !next
+              | 1 -> lb_arrival !next
+              | _ -> hh_arrival !next
+            in
+            let o_seq = Allocator.admit seq arrival in
+            let b = Allocator.admit_batch bat [ arrival ] in
+            (match o_seq with
+            | Allocator.Admitted _ -> live := !live @ [ !next ]
+            | Allocator.Rejected _ -> ());
+            match b.Allocator.outcomes with
+            | [ o_bat ] ->
+              same_outcome o_seq o_bat
+              && (match o_seq with
+                 | Allocator.Admitted a ->
+                   List.sort compare b.Allocator.batch_reallocated
+                   = List.sort compare a.Allocator.reallocated
+                 | Allocator.Rejected _ -> b.Allocator.batch_reallocated = [])
+            | _ -> false
+          end)
+        ops)
+
+(* Soundness of an epoch's committed subset: whatever admit_batch admits
+   must coexist without overlap — every resident's per-stage ranges are
+   pairwise disjoint after the commit, outcomes stay 1:1 with arrivals,
+   and every admitted FID is actually resident. *)
+let test_batch_commits_conflict_free () =
+  let alloc = Allocator.create params in
+  let arrivals =
+    List.init 48 (fun i ->
+        let fid = i + 1 in
+        match i mod 3 with
+        | 0 -> hh_arrival fid
+        | 1 -> lb_arrival fid
+        | _ -> cache_arrival fid)
+  in
+  let b = Allocator.admit_batch alloc arrivals in
+  Alcotest.(check int) "outcomes 1:1 with arrivals" 48
+    (List.length b.Allocator.outcomes);
+  let stats = b.Allocator.stats in
+  Alcotest.(check int) "admitted + rejected = batch" 48
+    (stats.Allocator.batch_admitted + stats.Allocator.batch_rejected);
+  Alcotest.(check bool) "contention forces rejections" true
+    (stats.Allocator.batch_rejected > 0);
+  List.iteri
+    (fun i o ->
+      match o with
+      | Allocator.Admitted a ->
+        Alcotest.(check int) "outcome order preserved" (i + 1) a.Allocator.fid;
+        Alcotest.(check bool) "admitted fid resident" true
+          (Allocator.is_resident alloc ~fid:a.Allocator.fid)
+      | Allocator.Rejected _ -> ())
+    b.Allocator.outcomes;
+  (* Pairwise disjointness, stage by stage, over every resident. *)
+  let n_stages = Array.length (Allocator.stage_used_blocks alloc) in
+  let by_stage = Array.make n_stages [] in
+  List.iter
+    (fun fid ->
+      let regions = Option.get (Allocator.regions_of alloc ~fid) in
+      List.iter
+        (fun r -> by_stage.(r.Allocator.stage) <- r.Allocator.range :: by_stage.(r.Allocator.stage))
+        regions)
+    (Allocator.resident alloc);
+  Array.iteri
+    (fun s ranges ->
+      let sorted =
+        List.sort (fun a b -> compare a.Pool.first_block b.Pool.first_block) ranges
+      in
+      let rec disjoint = function
+        | a :: (b :: _ as rest) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stage %d ranges disjoint" s)
+            true
+            (a.Pool.first_block + a.Pool.n_blocks <= b.Pool.first_block);
+          disjoint rest
+        | _ -> ()
+      in
+      disjoint sorted)
+    by_stage
+
+let test_batch_memoizes_repeated_shapes () =
+  (* Eight arrivals of the same program shape/elasticity/demand share one
+     epoch: the memo must answer most of them without re-scoring. *)
+  let alloc = Allocator.create params in
+  let b = Allocator.admit_batch alloc (List.init 8 (fun i -> cache_arrival (i + 1))) in
+  Alcotest.(check int) "all admitted" 8 b.Allocator.stats.Allocator.batch_admitted;
+  Alcotest.(check bool) "memo answered repeats" true
+    (b.Allocator.stats.Allocator.memo_hits > 0)
+
+let test_batch_duplicate_fid_raises () =
+  let alloc = Allocator.create params in
+  Alcotest.(check bool) "raises before any commit" true
+    (try
+       ignore (Allocator.admit_batch alloc [ cache_arrival 1; cache_arrival 1 ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check (list int)) "nothing committed" [] (Allocator.resident alloc)
+
+let test_batch_fill_coalescing_trace_attrs () =
+  (* The epoch's alloc.fill instant carries the coalescing attributes;
+     they must agree with the returned batch_stats, and stacking six
+     three-stage elastic apps in one epoch must actually save refills
+     versus the per-(arrival, stage) sequential count. *)
+  let tracer = Trace.create () in
+  let alloc = Allocator.create ~tracer params in
+  let trace = Option.get (Trace.start_trace tracer "test.batch") in
+  let b = Allocator.admit_batch ~trace alloc (List.init 6 (fun i -> cache_arrival (i + 1))) in
+  let stats = b.Allocator.stats in
+  Alcotest.(check bool) "coalescing saved refills" true
+    (stats.Allocator.refills_saved > 0);
+  let fill =
+    List.find
+      (fun e -> e.Trace.name = "alloc.fill" && List.mem_assoc "batch" e.Trace.attrs)
+      (Trace.events tracer)
+  in
+  let attr k = List.assoc k fill.Trace.attrs in
+  Alcotest.(check string) "batch attr" "6" (attr "batch");
+  Alcotest.(check string) "admitted attr"
+    (string_of_int stats.Allocator.batch_admitted)
+    (attr "admitted");
+  Alcotest.(check string) "stage_refills attr"
+    (string_of_int stats.Allocator.stage_refills)
+    (attr "stage_refills");
+  Alcotest.(check string) "refills_saved attr"
+    (string_of_int stats.Allocator.refills_saved)
+    (attr "refills_saved");
+  Alcotest.(check string) "rescored attr"
+    (string_of_int stats.Allocator.rescored)
+    (attr "rescored");
+  Alcotest.(check string) "reallocated attr"
+    (string_of_int (List.length b.Allocator.batch_reallocated))
+    (attr "reallocated")
+
 (* Random churn keeps the allocator's central invariants. *)
 let prop_churn_invariants =
   QCheck.Test.make ~name:"random churn: no overlap, utilization bounded"
@@ -548,5 +709,17 @@ let () =
             test_depart_only_touches_demand_stages;
           QCheck_alcotest.to_alcotest prop_churn_invariants;
           QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "commits conflict-free" `Quick
+            test_batch_commits_conflict_free;
+          Alcotest.test_case "memoizes repeated shapes" `Quick
+            test_batch_memoizes_repeated_shapes;
+          Alcotest.test_case "duplicate fid raises" `Quick
+            test_batch_duplicate_fid_raises;
+          Alcotest.test_case "fill coalescing trace attrs" `Quick
+            test_batch_fill_coalescing_trace_attrs;
+          QCheck_alcotest.to_alcotest prop_batch_singleton_matches_admit;
         ] );
     ]

@@ -237,6 +237,132 @@ let test_recirculation_limit_lifecycle () =
        false
      with Invalid_argument _ -> true)
 
+(* -- Async provision queue (batched epoch admission) --------------------- *)
+
+let test_drain_matches_sequential_decisions () =
+  (* An over-capacity stream of pinned heavy hitters interleaved with
+     elastic caches, replayed through handle_request on one controller
+     and through enqueue/drain with single-request epochs on a twin: the
+     admit/reject pattern must match exactly. *)
+  let _, ctl_seq = fresh () in
+  let _, ctl_bat = fresh () in
+  let reqs =
+    List.init 40 (fun i ->
+        let fid = i + 1 in
+        if i mod 2 = 0 then request fid hh else request fid cache)
+  in
+  let seq_decisions =
+    List.map (fun p -> Result.is_ok (Controller.handle_request ctl_seq p)) reqs
+  in
+  Alcotest.(check bool) "stream over-subscribes the switch" true
+    (List.exists not seq_decisions);
+  List.iter (Controller.enqueue_request ctl_bat) reqs;
+  Alcotest.(check int) "queue holds the backlog" 40 (Controller.queue_depth ctl_bat);
+  let epochs = Controller.drain ~max_batch:1 ctl_bat in
+  Alcotest.(check int) "one epoch per request" 40 (List.length epochs);
+  let bat_decisions =
+    List.concat_map
+      (fun e -> List.map Result.is_ok e.Controller.results)
+      epochs
+  in
+  Alcotest.(check (list bool)) "identical admit/reject pattern" seq_decisions
+    bat_decisions;
+  Alcotest.(check int) "queue drained" 0 (Controller.queue_depth ctl_bat);
+  Alcotest.(check (list int)) "identical resident sets"
+    (List.sort compare (Activermt_alloc.Allocator.resident (Controller.allocator ctl_seq)))
+    (List.sort compare (Activermt_alloc.Allocator.resident (Controller.allocator ctl_bat)))
+
+let test_drain_duplicate_fids_idempotent () =
+  let tel = Activermt_telemetry.Telemetry.create () in
+  let ctl = Controller.create ~telemetry:tel (Rmt.Device.create params) in
+  (* Intra-epoch echo: the same FID enqueued twice before a drain. *)
+  Controller.enqueue_request ctl (request 1 cache);
+  Controller.enqueue_request ctl (request 1 cache);
+  (match Controller.drain ctl with
+  | [ e ] ->
+    Alcotest.(check int) "both requests answered" 2 (List.length e.Controller.results);
+    List.iter
+      (fun r ->
+        match r with
+        | Ok p -> Alcotest.(check int) "answered for fid 1" 1 p.Controller.fid
+        | Error _ -> Alcotest.fail "duplicate must be answered, not rejected")
+      e.Controller.results
+  | _ -> Alcotest.fail "one epoch");
+  Alcotest.(check (list int)) "allocated exactly once" [ 1 ]
+    (Activermt_alloc.Allocator.resident (Controller.allocator ctl));
+  (* Cross-drain retry: the FID is already resident. *)
+  Controller.enqueue_request ctl (request 1 cache);
+  (match Controller.drain ctl with
+  | [ e ] -> (
+    match e.Controller.results with
+    | [ Ok p ] ->
+      Alcotest.(check (list int)) "no reallocation for a retry" []
+        p.Controller.reallocated
+    | _ -> Alcotest.fail "answered from the existing allocation")
+  | _ -> Alcotest.fail "one epoch");
+  Alcotest.(check int) "both duplicates counted" 2
+    (Activermt_telemetry.Telemetry.counter_value tel "control.dup_requests")
+
+let test_drain_epoch_bumps_table_epoch_once () =
+  (* Two caches joining a best-fit switch in one epoch both land on the
+     resident cache's stages, reallocating it — but its tables (and
+     Table.epoch, which keys JIT invalidation) must move exactly once for
+     the whole epoch, not once per admission.  The expected advance is
+     measured from a sequential twin, where each of the two admissions
+     reinstalls the resident cache separately. *)
+  let mk () =
+    Controller.create ~scheme:Activermt_alloc.Allocator.Best_fit
+      (Rmt.Device.create params)
+  in
+  let seq = mk () in
+  ignore (admit_exn seq 1 cache);
+  let e0 = Activermt.Table.epoch (Controller.tables seq) ~fid:1 in
+  ignore (admit_exn seq 2 cache);
+  let per_reinstall = Activermt.Table.epoch (Controller.tables seq) ~fid:1 - e0 in
+  Alcotest.(check bool) "a reallocation moves the epoch" true (per_reinstall > 0);
+  ignore (admit_exn seq 3 cache);
+  Alcotest.(check int) "sequential: one reinstall per admission"
+    (e0 + (2 * per_reinstall))
+    (Activermt.Table.epoch (Controller.tables seq) ~fid:1);
+  let bat = mk () in
+  ignore (admit_exn bat 1 cache);
+  let before = Activermt.Table.epoch (Controller.tables bat) ~fid:1 in
+  Controller.enqueue_request bat (request 2 cache);
+  Controller.enqueue_request bat (request 3 cache);
+  (match Controller.drain bat with
+  | [ e ] ->
+    let realloc_fids =
+      List.concat_map
+        (function Ok p -> p.Controller.reallocated | Error _ -> [])
+        e.Controller.results
+      |> List.sort_uniq compare
+    in
+    Alcotest.(check bool) "resident cache reallocated by the epoch" true
+      (List.mem 1 realloc_fids);
+    Alcotest.(check int) "installs: each touched app exactly once"
+      (2 + List.length (List.filter (fun f -> f = 1) realloc_fids))
+      e.Controller.installs
+  | _ -> Alcotest.fail "one epoch");
+  Alcotest.(check int) "batched: one reinstall for the whole epoch"
+    (before + per_reinstall)
+    (Activermt.Table.epoch (Controller.tables bat) ~fid:1)
+
+let test_drain_epoch_indices_monotonic () =
+  let _, ctl = fresh () in
+  Controller.enqueue_request ctl (request 1 cache);
+  Controller.enqueue_request ctl (request 2 cache);
+  Controller.enqueue_request ctl (request 3 cache);
+  let first = Controller.drain ~max_batch:2 ctl in
+  Alcotest.(check (list int)) "backlog split into epochs" [ 0; 1 ]
+    (List.map (fun e -> e.Controller.epoch_index) first);
+  Controller.enqueue_request ctl (request 4 cache);
+  (match Controller.drain ctl with
+  | [ e ] ->
+    Alcotest.(check int) "index continues across drains" 2 e.Controller.epoch_index
+  | _ -> Alcotest.fail "one epoch");
+  Alcotest.(check (list unit)) "empty queue drains to nothing" []
+    (List.map ignore (Controller.drain ctl))
+
 let test_cost_model_breakdown () =
   let b =
     Cost_model.breakdown Cost_model.default ~allocation_s:0.01 ~entries_updated:100
@@ -273,6 +399,17 @@ let () =
           Alcotest.test_case "departure unblocks pending" `Quick
             test_departure_unblocks_pending;
           Alcotest.test_case "regions packet" `Quick test_regions_packet;
+        ] );
+      ( "provision queue",
+        [
+          Alcotest.test_case "drain matches sequential decisions" `Quick
+            test_drain_matches_sequential_decisions;
+          Alcotest.test_case "duplicate fids idempotent" `Quick
+            test_drain_duplicate_fids_idempotent;
+          Alcotest.test_case "table epoch bumps once per epoch" `Quick
+            test_drain_epoch_bumps_table_epoch_once;
+          Alcotest.test_case "epoch indices monotonic" `Quick
+            test_drain_epoch_indices_monotonic;
         ] );
       ( "cost model",
         [

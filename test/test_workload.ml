@@ -187,6 +187,86 @@ let test_churn_deterministic () =
   let t2 = Churn.generate Churn.default_config ~epochs:50 (Prng.create ~seed:9) in
   Alcotest.(check bool) "same trace" true (t1 = t2)
 
+(* -- Zipf churn (batched epoch admission workload) ----------------------- *)
+
+let zcfg = { Churn.default_zipf_config with Churn.clients = 2000; batch = 32; resident_target = 48 }
+
+let force cfg seed = List.of_seq (Churn.zipf_churn cfg (Prng.create ~seed))
+
+let zipf_arrivals epochs =
+  List.concat_map
+    (fun e ->
+      List.filter_map
+        (function
+          | Churn.Arrive { fid; kind } -> Some (fid, kind)
+          | Churn.Depart _ -> None)
+        e.Churn.events)
+    epochs
+
+let test_zipf_churn_deterministic () =
+  (* Equal-seed generators replay identically — the property the CI churn
+     determinism job leans on end to end. *)
+  Alcotest.(check bool) "same sequence" true (force zcfg 11 = force zcfg 11)
+
+let test_zipf_churn_every_client_arrives_once () =
+  let epochs = force zcfg 13 in
+  let fids = List.map fst (zipf_arrivals epochs) in
+  Alcotest.(check int) "every client arrives" zcfg.Churn.clients (List.length fids);
+  Alcotest.(check int) "fids unique" (List.length fids)
+    (List.length (List.sort_uniq compare fids));
+  Alcotest.(check (list int)) "fids increasing" (List.sort compare fids) fids;
+  List.iteri
+    (fun i e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d carries at most batch arrivals" i)
+        true
+        (List.length
+           (List.filter (function Churn.Arrive _ -> true | _ -> false) e.Churn.events)
+        <= zcfg.Churn.batch))
+    epochs
+
+let test_zipf_churn_resident_bound () =
+  (* Departures trim the alive set back to resident_target after each
+     epoch's arrivals, and only ever remove alive instances. *)
+  let epochs = force zcfg 17 in
+  let alive = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      List.iter
+        (function
+          | Churn.Arrive { fid; _ } -> Hashtbl.replace alive fid ()
+          | Churn.Depart { fid } ->
+            Alcotest.(check bool) "departing fid is alive" true (Hashtbl.mem alive fid);
+            Hashtbl.remove alive fid)
+        e.Churn.events;
+      Alcotest.(check bool) "alive trimmed to resident target" true
+        (Hashtbl.length alive <= zcfg.Churn.resident_target))
+    epochs
+
+let test_zipf_churn_popularity_skew () =
+  (* The head of the popularity order must dominate the arrival mix. *)
+  let kinds = List.map snd (zipf_arrivals (force zcfg 19)) in
+  let count k = List.length (List.filter (( = ) k) kinds) in
+  let head = count zcfg.Churn.zipf_kinds.(0) in
+  let tail = count zcfg.Churn.zipf_kinds.(Array.length zcfg.Churn.zipf_kinds - 1) in
+  Alcotest.(check bool) "head kind dominates tail kind" true (head > 2 * tail);
+  Alcotest.(check bool) "head takes a plurality" true
+    (Array.for_all (fun k -> count k <= head) zcfg.Churn.zipf_kinds)
+
+let test_zipf_churn_invalid_configs () =
+  let raises cfg =
+    try
+      let (_ : Churn.epoch Seq.t) = Churn.zipf_churn cfg (Prng.create ~seed:1) in
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero batch" true
+    (raises { zcfg with Churn.batch = 0 });
+  Alcotest.(check bool) "negative clients" true
+    (raises { zcfg with Churn.clients = -1 });
+  Alcotest.(check bool) "empty kinds" true
+    (raises { zcfg with Churn.zipf_kinds = [||] })
+
 let () =
   Alcotest.run "workload"
     [
@@ -217,5 +297,14 @@ let () =
           Alcotest.test_case "mixed kinds" `Quick test_churn_mixed_kinds;
           Alcotest.test_case "extended kinds" `Quick test_churn_extended_kinds;
           Alcotest.test_case "deterministic" `Quick test_churn_deterministic;
+        ] );
+      ( "zipf churn",
+        [
+          Alcotest.test_case "deterministic" `Quick test_zipf_churn_deterministic;
+          Alcotest.test_case "every client arrives once" `Quick
+            test_zipf_churn_every_client_arrives_once;
+          Alcotest.test_case "resident bound" `Quick test_zipf_churn_resident_bound;
+          Alcotest.test_case "popularity skew" `Quick test_zipf_churn_popularity_skew;
+          Alcotest.test_case "invalid configs" `Quick test_zipf_churn_invalid_configs;
         ] );
     ]
