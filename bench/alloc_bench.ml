@@ -37,7 +37,7 @@ let arrivals_of_trace trace =
     (fun (e : Workload.Churn.epoch) ->
       List.filter_map
         (function
-          | Workload.Churn.Arrive { fid; kind } -> Some (arrival_of ~fid kind)
+          | Workload.Churn.Arrive { fid; kind; _ } -> Some (arrival_of ~fid kind)
           | Workload.Churn.Depart _ -> None)
         e.Workload.Churn.events)
     trace

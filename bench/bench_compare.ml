@@ -207,6 +207,99 @@ let compare_churn ~max_drop ~max_growth ~failures base_json cur_json =
     | _ -> ())
   | _, None -> ()
 
+(* The tenants section (multi-tenant fairness under a noisy neighbor).
+   Per tenant-count row:
+   - jain_wb and min_retained_wb gate against the absolute floors the
+     section itself declares (min_jain / min_retained) — they come off
+     the deterministic modeled clock, so they hold baseline or not,
+     exactly like the churn section's absolute speedup gate;
+   - the zero-FID-loss audit flag must be 1;
+   - p99_admit_ms is modeled (machine-independent): growth past
+     [max_growth] x the matching baseline row fails. *)
+let tenant_rows json =
+  match Json.member "tenants" json with
+  | None -> None
+  | Some section ->
+    let floor key =
+      match Json.(member key section |> Option.map to_num) with
+      | Some (Some v) -> v
+      | _ -> 0.0
+    in
+    let rows =
+      match Json.(member "sweep" section |> Option.map to_arr) with
+      | Some (Some items) ->
+        List.filter_map
+          (fun item ->
+            let num key =
+              match Json.(member key item |> Option.map to_num) with
+              | Some (Some v) -> Some v
+              | _ -> None
+            in
+            match num "tenants" with
+            | Some n ->
+              Some
+                ( int_of_float n,
+                  num "jain_wb",
+                  num "min_retained_wb",
+                  num "p99_admit_ms",
+                  num "consistent" )
+            | None -> None)
+          items
+      | _ -> []
+    in
+    Some (floor "min_jain", floor "min_retained", rows)
+
+let compare_tenants ~max_growth ~failures base_json cur_json =
+  match tenant_rows cur_json with
+  | None -> ()
+  | Some (min_jain, min_retained, cur_rows) ->
+    let base_rows =
+      match tenant_rows base_json with Some (_, _, r) -> r | None -> []
+    in
+    let gate n name ok fmt =
+      Printf.ksprintf
+        (fun detail ->
+          if not ok then incr failures;
+          Printf.printf "%-7s  tenants t%-4d %-16s %s\n"
+            (if ok then "OK" else "REGRESS")
+            n name detail)
+        fmt
+    in
+    List.iter
+      (fun (n, jain, retained, p99, consistent) ->
+        (match jain with
+        | Some j -> gate n "jain_wb" (j >= min_jain) "%.4f (floor %.2f)" j min_jain
+        | None ->
+          incr failures;
+          Printf.printf "MISSING  tenants t%-4d jain_wb absent\n" n);
+        (match retained with
+        | Some r ->
+          gate n "min_retained_wb" (r >= min_retained) "%.4f (floor %.2f)" r
+            min_retained
+        | None ->
+          incr failures;
+          Printf.printf "MISSING  tenants t%-4d min_retained_wb absent\n" n);
+        (match consistent with
+        | Some c -> gate n "fid_audit" (c = 1.0) "%s" (if c = 1.0 then "clean" else "FAILED")
+        | None -> ());
+        match
+          ( p99,
+            List.find_opt (fun (bn, _, _, _, _) -> bn = n) base_rows )
+        with
+        | Some c, Some (_, _, _, Some b, _) ->
+          let ceil = max_growth *. b in
+          gate n "p99_admit_ms" (c <= ceil) "%8.3f -> %8.3f ms (ceil %8.3f)" b c
+            ceil
+        | _ -> ())
+      cur_rows;
+    List.iter
+      (fun (bn, _, _, _, _) ->
+        if not (List.exists (fun (n, _, _, _, _) -> n = bn) cur_rows) then
+          Printf.printf
+            "INFO     tenants t%-4d in baseline but not candidate (quick mode?)\n"
+            bn)
+      base_rows
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse paths drop growth = function
@@ -247,6 +340,7 @@ let () =
     base;
   compare_device ~max_drop ~failures base_json cur_json;
   compare_churn ~max_drop ~max_growth ~failures base_json cur_json;
+  compare_tenants ~max_growth ~failures base_json cur_json;
   (* Candidate-only entries: new configurations the baseline doesn't
      know yet.  Report, don't gate. *)
   List.iter

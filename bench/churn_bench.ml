@@ -40,7 +40,7 @@ let measure_sequential ~prefix_arrivals zcfg =
   let step (e : Churn.epoch) =
     List.iter
       (function
-        | Churn.Arrive { fid; kind } ->
+        | Churn.Arrive { fid; kind; _ } ->
           if !done_ < prefix_arrivals then begin
             incr done_;
             let a = Harness.arrival_of ~fid kind ~block_bytes in

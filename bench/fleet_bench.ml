@@ -22,7 +22,7 @@ let arrivals ~n ~seed =
     (fun (e : Churn.epoch) ->
       List.filter_map
         (function
-          | Churn.Arrive { fid; kind } -> Some (fid, kind)
+          | Churn.Arrive { fid; kind; _ } -> Some (fid, kind)
           | Churn.Depart _ -> None)
         e.Churn.events)
     (Churn.mixed_arrivals ~n (Stdx.Prng.create ~seed))

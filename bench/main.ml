@@ -150,6 +150,11 @@ let experiments =
       run = (fun ~quick -> Churn_bench.run ~quick);
     };
     {
+      name = "tenants";
+      info = "multi-tenant fairness: noisy-neighbor quotas/WRR/preemption (BENCH_alloc.json)";
+      run = (fun ~quick -> Tenant_bench.run ~quick);
+    };
+    {
       name = "device";
       info = "exec throughput: interpreter vs JIT closures (BENCH_alloc.json)";
       run = (fun ~quick -> Device_bench.run ~quick);

@@ -1,0 +1,111 @@
+(* Multi-tenant fairness benchmark (the BENCH_alloc.json "tenants"
+   section): the noisy-neighbor scenario of Experiments.Tenants at
+   several tenant counts.
+
+     quick  8 and 64 tenants (the CI smoke scale)
+     full   8, 64 and 512 tenants
+
+   Per size the gates are absolute, not baseline-relative, because the
+   quantities are deterministic (modeled clock, seeded shuffle):
+   - Jain's fairness index over well-behaved tenants >= [min_jain];
+   - every well-behaved tenant retains >= [min_retained] of its weighted
+     fair share despite the hostile tenant's 10x flood;
+   - the zero-FID-loss audit holds (residents, decisions and parked
+     state tile the submitted FIDs).
+   bench_compare additionally fails if the modeled p99 admission latency
+   more than doubles against the committed baseline. *)
+
+module Tenants = Experiments.Tenants
+module Telemetry = Activermt_telemetry.Telemetry
+module Json = Activermt_telemetry.Json
+
+let min_jain = 0.9
+let min_retained = 0.9
+
+let json_row ~tenants (r : Tenants.result) =
+  let ms v = Json.Num (Float.round (10_000.0 *. 1000.0 *. v) /. 10_000.0) in
+  Json.Obj
+    [
+      ("tenants", Json.Num (float_of_int tenants));
+      ("demand_blocks", Json.Num (float_of_int r.Tenants.config.Tenants.demand_blocks));
+      ("jain_wb", Json.Num (Float.round (10_000.0 *. r.Tenants.jain_wb) /. 10_000.0));
+      ( "min_retained_wb",
+        Json.Num (Float.round (10_000.0 *. r.Tenants.min_retained_wb) /. 10_000.0) );
+      ("p50_admit_ms", ms r.Tenants.p50_admit_s);
+      ("p99_admit_ms", ms r.Tenants.p99_admit_s);
+      ("granted", Json.Num (float_of_int r.Tenants.granted));
+      ("denied_capacity", Json.Num (float_of_int r.Tenants.denied_capacity));
+      ("evictions", Json.Num (float_of_int r.Tenants.evictions));
+      ("relocations", Json.Num (float_of_int r.Tenants.relocations));
+      ("epochs", Json.Num (float_of_int r.Tenants.epochs));
+      ("consistent", Json.Num (if r.Tenants.consistent then 1.0 else 0.0));
+    ]
+
+let merge_into_bench_json ~path section =
+  let existing =
+    if Sys.file_exists path then
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.of_string text with Ok v -> Json.to_obj v | Error _ -> None
+    else None
+  in
+  let fields =
+    match existing with
+    | Some fields -> List.remove_assoc "tenants" fields @ [ ("tenants", section) ]
+    | None -> [ ("tenants", section) ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true (Json.Obj fields));
+  output_char oc '\n';
+  close_out oc
+
+let run ~quick =
+  let sizes = if quick then [ 8; 64 ] else [ 8; 64; 512 ] in
+  Printf.printf
+    "== Multi-tenant fairness: noisy neighbor at 10x offered load ==\n";
+  let gate_failures = ref [] in
+  let rows =
+    List.map
+      (fun tenants ->
+        let cfg = Tenants.preset ~tenants () in
+        let r = Tenants.run ~clock:Unix.gettimeofday cfg in
+        Printf.printf
+          "%4d tenants  jain %.4f  min-retained %.4f  p99 admit %.3f ms  \
+           (%d granted, %d evictions, %d relocations, %d epochs)%s\n"
+          tenants r.Tenants.jain_wb r.Tenants.min_retained_wb
+          (1000.0 *. r.Tenants.p99_admit_s)
+          r.Tenants.granted r.Tenants.evictions r.Tenants.relocations
+          r.Tenants.epochs
+          (if r.Tenants.consistent then "" else "  FID AUDIT FAILED");
+        let fail fmt = Printf.ksprintf (fun s -> gate_failures := s :: !gate_failures) fmt in
+        if r.Tenants.jain_wb < min_jain then
+          fail "%d tenants: jain %.4f below %.2f" tenants r.Tenants.jain_wb min_jain;
+        if r.Tenants.min_retained_wb < min_retained then
+          fail "%d tenants: min retained share %.4f below %.2f" tenants
+            r.Tenants.min_retained_wb min_retained;
+        if not r.Tenants.consistent then
+          fail "%d tenants: FID residency audit failed" tenants;
+        let tel = Telemetry.default in
+        let g name v = Telemetry.set_gauge tel (Printf.sprintf "tenant.bench.t%d.%s" tenants name) v in
+        g "jain_wb" r.Tenants.jain_wb;
+        g "min_retained_wb" r.Tenants.min_retained_wb;
+        g "p99_admit_ms" (1000.0 *. r.Tenants.p99_admit_s);
+        json_row ~tenants r)
+      sizes
+  in
+  let section =
+    Json.Obj
+      [
+        ("min_jain", Json.Num min_jain);
+        ("min_retained", Json.Num min_retained);
+        ("sweep", Json.Arr rows);
+      ]
+  in
+  merge_into_bench_json ~path:"BENCH_alloc.json" section;
+  print_endline "merged tenants section into BENCH_alloc.json";
+  match !gate_failures with
+  | [] -> ()
+  | fs when Sys.getenv_opt "TENANT_PROFILE" <> None ->
+    List.iter (fun f -> Printf.printf "NOTE (gate bypassed): %s\n" f) fs
+  | fs -> failwith ("tenant bench: " ^ String.concat "; " (List.rev fs))

@@ -7,6 +7,7 @@
      allocsim replay a comma-separated arrival list against the allocator
               (sequentially or in admission batches with --batch)
      churnsim Zipf client churn through the batched epoch admission pipeline
+     tenantsim multi-tenant noisy-neighbor scenario (quotas, WRR, preemption)
      fleetsim replay a service workload against a multi-switch fleet
      faultsim run the protocol stack under a seeded fault profile
      tracequery filter and render a Chrome trace dump as causal trees
@@ -193,7 +194,7 @@ and cmd_allocsim spec_str mixed seed batch scheme policy domains no_jit
       |> List.concat_map (fun (e : Churn.epoch) ->
              List.filter_map
                (function
-                 | Churn.Arrive { fid = _; kind } ->
+                 | Churn.Arrive { fid = _; kind; _ } ->
                    incr next_fid;
                    Some
                      ( Churn.kind_to_string kind,
@@ -370,7 +371,7 @@ and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw no_jit
       (fun (e : Churn.epoch) ->
         List.filter_map
           (function
-            | Churn.Arrive { fid; kind } -> Some (fid, kind)
+            | Churn.Arrive { fid; kind; _ } -> Some (fid, kind)
             | Churn.Depart _ -> None)
           e.Churn.events)
       (Churn.mixed_arrivals ~n:arrivals (Stdx.Prng.create ~seed))
@@ -727,6 +728,67 @@ let scheme_arg =
     (Arg.opt sconv Allocator.Worst_fit
        (Arg.info [ "scheme" ] ~docv:"wf|ff|bf|realloc"))
 
+let cmd_tenantsim tenants hostile_factor seed summary_out metrics_out =
+  seed_jit_metrics ~enabled:true;
+  let module Tenants = Experiments.Tenants in
+  let cfg = { (Tenants.preset ~tenants ()) with Tenants.hostile_factor; seed } in
+  let r = Tenants.run ~telemetry:Telemetry.default cfg in
+  (* Deterministic stdout: the whole summary derives from the modeled
+     clock and the seeded shuffle (no wall times), so two same-config
+     runs print — and with --summary-out, dump — byte-identical
+     artifacts for the CI determinism job to [cmp]. *)
+  print_string (Tenants.summary_lines r);
+  (match summary_out with
+  | None -> ()
+  | Some path ->
+    let num v = Json.Num v in
+    let int v = Json.Num (float_of_int v) in
+    let summary =
+      Json.Obj
+        [
+          ("tenants", int tenants);
+          ("hostile_factor", int hostile_factor);
+          ("demand_blocks", int cfg.Tenants.demand_blocks);
+          ("services_per_tenant", int cfg.Tenants.services_per_tenant);
+          ("seed", int seed);
+          ("capacity_blocks", int r.Tenants.capacity_blocks);
+          ("effective_capacity_blocks", int r.Tenants.effective_capacity_blocks);
+          ("epochs", int r.Tenants.epochs);
+          ("granted", int r.Tenants.granted);
+          ("denied_quota", int r.Tenants.denied_quota);
+          ("denied_capacity", int r.Tenants.denied_capacity);
+          ("evictions", int r.Tenants.evictions);
+          ("relocations", int r.Tenants.relocations);
+          ("deferrals", int r.Tenants.deferrals);
+          ("jain_wb", num r.Tenants.jain_wb);
+          ("min_retained_wb", num r.Tenants.min_retained_wb);
+          ("p50_admit_ms", num (1000.0 *. r.Tenants.p50_admit_s));
+          ("p99_admit_ms", num (1000.0 *. r.Tenants.p99_admit_s));
+          ("modeled_span_s", num r.Tenants.modeled_span_s);
+          ("consistent", int (if r.Tenants.consistent then 1 else 0));
+          ( "per_tenant",
+            Json.Arr
+              (List.map
+                 (fun (o : Tenants.tenant_outcome) ->
+                   Json.Obj
+                     [
+                       ("tenant", int o.Tenants.tenant);
+                       ("hostile", int (if o.Tenants.hostile then 1 else 0));
+                       ("offered_blocks", int o.Tenants.offered_blocks);
+                       ("granted_blocks", int o.Tenants.granted_blocks);
+                       ("fair_blocks", num o.Tenants.fair_blocks);
+                       ("retained", num o.Tenants.retained);
+                     ])
+                 r.Tenants.per_tenant) );
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Json.to_string ~pretty:true summary);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote tenant summary to %s\n" path);
+  write_metrics metrics_out
+
 let asm_cmd =
   Cmd.v (Cmd.info "asm" ~doc:"assemble and analyze an active program")
     Term.(const cmd_asm $ path_arg)
@@ -857,6 +919,39 @@ let churnsim_cmd =
     Term.(
       const cmd_churnsim $ clients_arg $ batch_arg $ target_arg $ seed_arg
       $ summary_out_arg $ metrics_out_arg $ trace_out_arg $ trace_sample_arg)
+
+let tenantsim_cmd =
+  let tenants_arg =
+    Arg.value
+      (Arg.opt positive_int 8
+         (Arg.info [ "tenants" ] ~docv:"N"
+            ~doc:"Equal-weight tenants sharing the switch (tenant 0 is \
+                  the noisy neighbor)."))
+  in
+  let hostile_arg =
+    Arg.value
+      (Arg.opt positive_int 10
+         (Arg.info [ "hostile-factor" ] ~docv:"X"
+            ~doc:"Hostile offered load as a multiple of its fair share."))
+  in
+  let seed_arg =
+    Arg.value (Arg.opt Arg.int 7 (Arg.info [ "seed" ] ~docv:"SEED"))
+  in
+  let summary_out_arg =
+    Arg.value
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "summary-out" ] ~docv:"FILE"
+            ~doc:"Write the deterministic scenario summary (modeled-clock \
+                  metrics only, no wall times) as JSON to $(docv); \
+                  same-seed runs produce byte-identical files."))
+  in
+  Cmd.v
+    (Cmd.info "tenantsim"
+       ~doc:"multi-tenant noisy-neighbor scenario: quotas, WRR admission, \
+             preemptive reclamation")
+    Term.(
+      const cmd_tenantsim $ tenants_arg $ hostile_arg $ seed_arg
+      $ summary_out_arg $ metrics_out_arg)
 
 let fleetsim_cmd =
   let module Placement = Activermt_fleet.Placement in
@@ -1036,5 +1131,5 @@ let () =
   let info = Cmd.info "activermt" ~doc:"ActiveRMT tools (SIGCOMM 2023 reproduction)" in
   exit (Cmd.eval (Cmd.group info
        [ asm_cmd; disasm_cmd; mutants_cmd; allocsim_cmd; churnsim_cmd;
-         fleetsim_cmd; faultsim_cmd; tracequery_cmd; trace_cmd; apps_cmd;
-         p4gen_cmd ]))
+         tenantsim_cmd; fleetsim_cmd; faultsim_cmd; tracequery_cmd; trace_cmd;
+         apps_cmd; p4gen_cmd ]))

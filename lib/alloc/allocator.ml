@@ -175,6 +175,19 @@ let utilization t =
 
 let stage_used_blocks t = Array.map Pool.used_blocks t.pools
 
+let total_blocks t =
+  Array.length t.pools * t.params.Rmt.Params.blocks_per_stage
+
+let resident_blocks t =
+  Hashtbl.fold
+    (fun fid app acc ->
+      let blocks =
+        List.fold_left (fun n (_, r) -> n + r.Pool.n_blocks) 0 app.app_layout
+      in
+      (fid, blocks) :: acc)
+    t.apps []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let elastic_fids t =
   Hashtbl.fold (fun fid app acc -> if app.app_elastic then fid :: acc else acc) t.apps []
 

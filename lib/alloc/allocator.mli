@@ -166,6 +166,14 @@ val utilization : t -> float
 
 val stage_used_blocks : t -> int array
 
+val total_blocks : t -> int
+(** Device capacity in blocks ([stages x blocks_per_stage]). *)
+
+val resident_blocks : t -> (int * int) list
+(** [(fid, blocks currently held)] for every resident app, sorted by FID —
+    the bulk form of {!app_blocks}, used by the tenant layer to refresh
+    per-tenant accounting after elastic residents were resized. *)
+
 val elastic_fids : t -> int list
 
 val regions_response :

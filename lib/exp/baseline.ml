@@ -28,7 +28,7 @@ let run_netvrm ?(n = 400) params =
         (fun ev ->
           match ev with
           | Churn.Depart _ -> ()
-          | Churn.Arrive { fid; kind } -> (
+          | Churn.Arrive { fid; kind; _ } -> (
             (match
                Allocator.admit alloc
                  (Harness.arrival_of ~fid kind

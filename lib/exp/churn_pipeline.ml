@@ -81,7 +81,7 @@ let run ?scheme ?policy ?(cost = Cost_model.default)
     let arrivals =
       List.filter_map
         (function
-          | Churn.Arrive { fid; kind } ->
+          | Churn.Arrive { fid; kind; _ } ->
             Some (Harness.arrival_of ~fid kind ~block_bytes)
           | Churn.Depart _ -> None)
         e.Churn.events

@@ -19,7 +19,7 @@ let run ?(epochs = 300) ?(trials = 5) params =
           (fun ev ->
             match ev with
             | Churn.Depart { fid } -> ignore (Allocator.depart alloc ~fid)
-            | Churn.Arrive { fid; kind } -> (
+            | Churn.Arrive { fid; kind; _ } -> (
               bump offered kind;
               match Allocator.admit alloc (Harness.arrival_of ~fid kind ~block_bytes) with
               | Allocator.Admitted _ -> bump admitted kind

@@ -15,7 +15,7 @@ let run_8a ?(epochs = 300) ?(every = 10) params =
         (fun ev ->
           match ev with
           | Churn.Depart { fid } -> ignore (Controller.handle_departure controller ~fid)
-          | Churn.Arrive { fid; kind } ->
+          | Churn.Arrive { fid; kind; _ } ->
             let app = Harness.app_of_kind kind in
             let pkt = Activermt_client.Negotiate.request_packet ~fid ~seq:0 app in
             (match Controller.handle_request controller pkt with

@@ -66,7 +66,7 @@ let run ?scheme ?policy ~params trace =
     List.iter
       (fun ev ->
         match ev with
-        | Churn.Arrive { fid; kind } -> (
+        | Churn.Arrive { fid; kind; _ } -> (
           incr arrivals;
           Hashtbl.replace kinds fid kind;
           match Allocator.admit alloc (arrival_of ~fid kind ~block_bytes) with

@@ -10,6 +10,17 @@ type node = {
   faults : Faults.t option;
 }
 
+(* A service waiting in the fleet's global admission queue: drained in
+   batches into per-switch provision queues (Controller.enqueue_request /
+   Controller.drain) instead of one handle_request per service. *)
+type pending_admission = {
+  pa_fid : int;
+  pa_app : App.t;
+  pa_client : Fabric.address option;
+  pa_tenant : int option;
+  mutable pa_tried : Topology.switch_id list;
+}
+
 type t = {
   topo : Topology.t;
   engine : Engine.t;
@@ -20,6 +31,8 @@ type t = {
   apps : (int, App.t) Hashtbl.t;
   clients : (int, Fabric.address) Hashtbl.t;
   shims : (int, Shim.t) Hashtbl.t;
+  admissions : pending_admission Queue.t;
+  tenants : Tenant.t option;
   memsync_word_budget : int;
   tel : Telemetry.t;
   tracer : Trace.t;
@@ -96,7 +109,7 @@ let route t ~from msg =
 
 let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.default)
     ?wire_latency_s ?(memsync_word_budget = 4096) ?faults
-    ?(faults_seed = 0xF1EE7) ?jit ?(telemetry = Telemetry.default)
+    ?(faults_seed = 0xF1EE7) ?jit ?tenants ?(telemetry = Telemetry.default)
     ?(tracer = Trace.noop) topo =
   if memsync_word_budget < 0 then
     invalid_arg "Fleet.create: memsync_word_budget must be non-negative";
@@ -148,6 +161,8 @@ let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.defa
       apps = Hashtbl.create 64;
       clients = Hashtbl.create 64;
       shims = Hashtbl.create 64;
+      admissions = Queue.create ();
+      tenants;
       memsync_word_budget;
       tel = telemetry;
       tracer;
@@ -294,7 +309,183 @@ let forget t ~fid =
   Hashtbl.remove t.residency fid;
   Hashtbl.remove t.apps fid;
   Hashtbl.remove t.clients fid;
-  Hashtbl.remove t.shims fid
+  Hashtbl.remove t.shims fid;
+  match t.tenants with
+  | Some reg -> Tenant.unbind reg ~fid
+  | None -> ()
+
+(* {2 Batched global admission}
+
+   The epoch-admission path at fleet scope (ROADMAP item 1's remaining
+   stretch): services are enqueued globally, then [drain_admissions]
+   routes each round's backlog to its best placement candidate and
+   drains every touched switch's provision queue through
+   [Controller.drain] — one batched table-write session per switch per
+   epoch — rather than one synchronous [handle_request] per service.
+   Rejected services spill over to the next candidate switch on the
+   following round. *)
+
+let tenant_registry t = t.tenants
+
+let pa_charge pa = Array.fold_left ( + ) 0 pa.pa_app.App.demand_blocks
+
+let enqueue_admission t ?client ?tenant ~fid app =
+  if Hashtbl.mem t.residency fid then
+    invalid_arg
+      (Printf.sprintf "Fleet.enqueue_admission: fid %d already placed" fid);
+  (match (tenant, t.tenants) with
+  | Some tn, Some reg -> Tenant.bind reg ~fid ~tenant:tn
+  | Some _, None ->
+    invalid_arg "Fleet.enqueue_admission: no tenant registry configured"
+  | None, _ -> ());
+  Queue.add
+    { pa_fid = fid; pa_app = app; pa_client = client; pa_tenant = tenant;
+      pa_tried = [] }
+    t.admissions;
+  Telemetry.incr t.tel "fleet.adm.enqueued"
+
+let admission_queue_depth t = Queue.length t.admissions
+
+let commit_admission t pa ~sw =
+  Hashtbl.replace t.apps pa.pa_fid pa.pa_app;
+  (match pa.pa_client with
+  | Some c -> Hashtbl.replace t.clients pa.pa_fid c
+  | None -> ());
+  let shim = Shim.create ~fid:pa.pa_fid in
+  ignore (Shim.transition shim Shim.Request_sent);
+  ignore (Shim.transition shim Shim.Response_granted);
+  Hashtbl.replace t.shims pa.pa_fid shim;
+  bind_placement t ~fid:pa.pa_fid ~sw;
+  (match (pa.pa_tenant, t.tenants) with
+  | Some _, Some reg ->
+    let stages =
+      match
+        Allocator.regions_of (Controller.allocator t.nodes.(sw).controller)
+          ~fid:pa.pa_fid
+      with
+      | Some regions -> List.map (fun sr -> sr.Allocator.stage) regions
+      | None -> []
+    in
+    Tenant.charge reg ~fid:pa.pa_fid ~blocks:(pa_charge pa) ~stages
+  | _ -> ());
+  Telemetry.incr t.tel "fleet.admitted";
+  Telemetry.incr t.tel (sw_counter sw "admitted");
+  if pa.pa_tried <> [] then Telemetry.incr t.tel "fleet.spillover"
+
+let drain_admissions ?(max_batch = 64) t =
+  if max_batch <= 0 then
+    invalid_arg "Fleet.drain_admissions: max_batch must be positive";
+  let outcomes = ref [] in
+  let settle pa result =
+    (match result with
+    | Error _ -> (
+      Telemetry.incr t.tel "fleet.rejected";
+      match t.tenants with
+      | Some reg -> Tenant.unbind reg ~fid:pa.pa_fid
+      | None -> ())
+    | Ok _ -> ());
+    outcomes := (pa.pa_fid, result) :: !outcomes
+  in
+  let progress = ref true in
+  while (not (Queue.is_empty t.admissions)) && !progress do
+    progress := false;
+    let backlog = List.of_seq (Queue.to_seq t.admissions) in
+    Queue.clear t.admissions;
+    (* Fleet-global quota gate: a tenant's usage is aggregated across
+       every switch in its (shared) registry.  Charges land only after a
+       switch admits, so the gate also counts block demand this round has
+       already waved through for the tenant — otherwise two services that
+       individually fit a quota both pass and the tenant overshoots.
+       (Stage demand stays usage-only: pending services may land on
+       stages the tenant already occupies.) *)
+    let backlog =
+      let pending = Hashtbl.create 8 in
+      List.filter
+        (fun pa ->
+          match (pa.pa_tenant, t.tenants) with
+          | Some tn, Some reg ->
+            let ahead =
+              match Hashtbl.find_opt pending tn with Some b -> b | None -> 0
+            in
+            if
+              Tenant.would_exceed reg ~tenant:tn
+                ~blocks:(pa_charge pa + ahead)
+                ~stages:(Array.length pa.pa_app.App.demand_blocks)
+            then begin
+              settle pa (Error `Over_quota);
+              progress := true;
+              false
+            end
+            else begin
+              Hashtbl.replace pending tn (ahead + pa_charge pa);
+              true
+            end
+          | _ -> true)
+        backlog
+    in
+    (* Route each pending service to its next placement candidate. *)
+    let loads = loads t in
+    let grouped = Hashtbl.create 8 in
+    List.iter
+      (fun pa ->
+        let home =
+          Option.bind pa.pa_client (fun c -> Topology.home_of t.topo ~client:c)
+        in
+        let candidates = Placement.order t.policy ~home loads in
+        match
+          List.find_opt
+            (fun sw -> (not (List.mem sw pa.pa_tried)) && not t.down.(sw))
+            candidates
+        with
+        | None ->
+          settle pa (Error `No_capacity);
+          progress := true
+        | Some sw ->
+          let prev =
+            match Hashtbl.find_opt grouped sw with Some l -> l | None -> []
+          in
+          Hashtbl.replace grouped sw (pa :: prev))
+      backlog;
+    let switches =
+      Hashtbl.fold (fun sw _ acc -> sw :: acc) grouped [] |> List.sort compare
+    in
+    (* One batched provision-queue drain per touched switch. *)
+    List.iter
+      (fun sw ->
+        let pas = List.rev (Hashtbl.find grouped sw) in
+        let ctrl = t.nodes.(sw).controller in
+        List.iter
+          (fun pa ->
+            Controller.enqueue_request ctrl
+              (Negotiate.request_packet ~fid:pa.pa_fid ~seq:0 pa.pa_app))
+          pas;
+        let results =
+          Controller.drain ~max_batch ctrl
+          |> List.concat_map (fun e -> e.Controller.results)
+        in
+        (* The provision queue could already hold requests enqueued
+           directly on the controller; ours are the tail. *)
+        let extra = List.length results - List.length pas in
+        let results =
+          if extra > 0 then List.filteri (fun i _ -> i >= extra) results
+          else results
+        in
+        Telemetry.incr t.tel "fleet.adm.epochs";
+        List.iter2
+          (fun pa result ->
+            match result with
+            | Ok (_ : Controller.provision) ->
+              commit_admission t pa ~sw;
+              settle pa (Ok sw);
+              progress := true
+            | Error _ ->
+              (* Spill over to the next candidate on a later round. *)
+              pa.pa_tried <- sw :: pa.pa_tried;
+              Queue.add pa t.admissions)
+          pas results)
+      switches
+  done;
+  List.sort (fun (a, _) (b, _) -> compare a b) !outcomes
 
 let depart t ~fid =
   match Hashtbl.find_opt t.residency fid with

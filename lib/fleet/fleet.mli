@@ -31,6 +31,7 @@ val create :
   ?faults:Netsim.Faults.profile ->
   ?faults_seed:int ->
   ?jit:bool ->
+  ?tenants:Tenant.t ->
   ?telemetry:Telemetry.t ->
   ?tracer:Trace.t ->
   Topology.t ->
@@ -129,6 +130,49 @@ val admit :
 
 val depart : t -> fid:int -> bool
 (** Release the service's allocation at its switch; false if unknown. *)
+
+(** {1 Batched global admission}
+
+    The epoch-admission path at fleet scope: enqueue services globally,
+    then drain each round's backlog through every touched switch's
+    provision queue ({!Controller.enqueue_request} /
+    {!Controller.drain}) — one batched table-write session per switch
+    per round instead of a synchronous
+    {!Controller.handle_request} per service.  Services a switch rejects
+    spill over to the next placement candidate on the following round.
+
+    When the fleet was created with a [tenants] registry (shared across
+    switches, so usage aggregates fleet-wide), admissions submitted with
+    a tenant id are charged against it and gated by its {e global}
+    quota. *)
+
+val tenant_registry : t -> Tenant.t option
+(** The registry passed at {!create}, if any. *)
+
+val enqueue_admission :
+  t -> ?client:Fabric.address -> ?tenant:int -> fid:int -> App.t -> unit
+(** Queue a service for the next {!drain_admissions}.  Constant-time.
+    With [tenant], the FID is bound in the fleet's registry (and later
+    charged on admission).
+    @raise Invalid_argument if the FID is already placed, or [tenant]
+    was given but the fleet has no registry. *)
+
+val admission_queue_depth : t -> int
+
+val drain_admissions :
+  ?max_batch:int ->
+  t ->
+  (int * (Topology.switch_id, [ `No_capacity | `Over_quota ]) result) list
+(** Admit the whole global backlog: per round, every pending service is
+    routed to its best untried placement candidate, each touched
+    switch's provision queue drains in epochs of up to [max_batch]
+    (default 64), and rejected services retry elsewhere next round.
+    Returns one outcome per enqueued FID, ascending: the placed switch,
+    [`No_capacity] once every up switch rejected it, or [`Over_quota]
+    when the tenant's fleet-global quota blocked it.  Successful
+    placements get the same bookkeeping as {!admit} (shim, client
+    homing, occupancy, [fleet.admitted]); counters
+    [fleet.adm.enqueued]/[fleet.adm.epochs] cover the queue itself. *)
 
 val migrate :
   t ->

@@ -1,0 +1,135 @@
+(* Per-tenant deque: [front] is ready to pop, [back] is reversed. *)
+type 'a deque = { mutable front : 'a list; mutable back : 'a list }
+
+type 'a t = {
+  queues : (int, 'a deque) Hashtbl.t;
+  credits : (int, int) Hashtbl.t;
+  mutable total : int;
+  mutable cursor : int;
+      (* last round-leader: the next round starts at the first active
+         tenant after it (cyclic), so no tenant is systematically served
+         late in every batch *)
+}
+
+let create () =
+  {
+    queues = Hashtbl.create 64;
+    credits = Hashtbl.create 64;
+    total = 0;
+    cursor = min_int;
+  }
+
+let deque t tenant =
+  match Hashtbl.find_opt t.queues tenant with
+  | Some d -> d
+  | None ->
+    let d = { front = []; back = [] } in
+    Hashtbl.replace t.queues tenant d;
+    d
+
+let dq_len d = List.length d.front + List.length d.back
+let dq_is_empty d = d.front = [] && d.back = []
+
+let dq_pop d =
+  match d.front with
+  | x :: rest ->
+    d.front <- rest;
+    Some x
+  | [] -> (
+    match List.rev d.back with
+    | [] -> None
+    | x :: rest ->
+      d.back <- [];
+      d.front <- rest;
+      Some x)
+
+let push t ~tenant x =
+  let d = deque t tenant in
+  d.back <- x :: d.back;
+  t.total <- t.total + 1
+
+let push_front t ~tenant x =
+  let d = deque t tenant in
+  d.front <- x :: d.front;
+  t.total <- t.total + 1
+
+let depth t = t.total
+
+let tenant_depth t ~tenant =
+  match Hashtbl.find_opt t.queues tenant with None -> 0 | Some d -> dq_len d
+
+let queued_tenants t =
+  Hashtbl.fold (fun id d acc -> if dq_is_empty d then acc else id :: acc) t.queues []
+  |> List.sort compare
+
+type 'a batch = { taken : (int * 'a) list; dropped : (int * 'a) list }
+
+let take t ~weight ~classify ~max =
+  if max <= 0 then invalid_arg "Wrr.take: max <= 0";
+  let taken = ref [] and dropped = ref [] in
+  let n_taken = ref 0 in
+  let blocked = Hashtbl.create 16 in
+  let credit_of id =
+    match Hashtbl.find_opt t.credits id with Some c -> c | None -> 0
+  in
+  let continue = ref true in
+  while !continue do
+    let active =
+      List.filter (fun id -> not (Hashtbl.mem blocked id)) (queued_tenants t)
+    in
+    (* Rotate so the round starts just past the previous round-leader:
+       with a fixed ascending order the highest ids would land at the
+       tail of every batch and systematically lose downstream
+       first-come-first-served admission races. *)
+    let active =
+      let later, earlier = List.partition (fun id -> id > t.cursor) active in
+      later @ earlier
+    in
+    if active = [] || !n_taken >= max then continue := false
+    else begin
+      (match active with
+      | leader :: _ -> t.cursor <- leader
+      | [] -> ());
+      let progressed = ref false in
+      List.iter
+        (fun id ->
+          if !n_taken < max && not (Hashtbl.mem blocked id) then begin
+            let w = weight id in
+            if w <= 0 then invalid_arg "Wrr.take: non-positive weight";
+            Hashtbl.replace t.credits id (credit_of id + w);
+            let serving = ref true in
+            while !serving do
+              let d = deque t id in
+              if dq_is_empty d || !n_taken >= max || credit_of id < 1 then
+                serving := false
+              else
+                match dq_pop d with
+                | None -> serving := false
+                | Some x -> (
+                  t.total <- t.total - 1;
+                  match classify ~tenant:id x with
+                  | `Take ->
+                    taken := (id, x) :: !taken;
+                    incr n_taken;
+                    Hashtbl.replace t.credits id (credit_of id - 1);
+                    progressed := true
+                  | `Drop ->
+                    dropped := (id, x) :: !dropped;
+                    progressed := true
+                  | `Defer ->
+                    d.front <- x :: d.front;
+                    t.total <- t.total + 1;
+                    Hashtbl.replace blocked id ();
+                    serving := false)
+            done
+          end)
+        active;
+      if not !progressed then continue := false
+    end
+  done;
+  (* A drained queue forfeits its credit (DRR): idle tenants must not
+     bank arbitrarily large bursts for later. *)
+  Hashtbl.iter
+    (fun id d -> if dq_is_empty d then Hashtbl.remove t.credits id)
+    t.queues;
+  { taken = List.rev !taken; dropped = List.rev !dropped }

@@ -12,7 +12,9 @@ let all_kinds = [| Cache; Heavy_hitter; Load_balancer |]
 let extended_kinds =
   [| Cache; Heavy_hitter; Load_balancer; Flow_counter; Bloom_filter |]
 
-type event = Arrive of { fid : int; kind : kind } | Depart of { fid : int }
+type event =
+  | Arrive of { fid : int; kind : kind; tenant : int option }
+  | Depart of { fid : int }
 type epoch = { index : int; events : event list }
 
 type config = {
@@ -49,7 +51,7 @@ let generate config ~epochs rng =
           incr next_fid;
           let kind = Stdx.Prng.choose rng config.kinds in
           alive := fid :: !alive;
-          Arrive { fid; kind })
+          Arrive { fid; kind; tenant = None })
     in
     let departures =
       List.filter_map
@@ -69,13 +71,17 @@ let generate config ~epochs rng =
 
 let arrivals_sequence kind ~n =
   List.init n (fun i ->
-      { index = i; events = [ Arrive { fid = i + 1; kind } ] })
+      { index = i; events = [ Arrive { fid = i + 1; kind; tenant = None } ] })
 
 let mixed_arrivals ~n rng =
   List.init n (fun i ->
       {
         index = i;
-        events = [ Arrive { fid = i + 1; kind = Stdx.Prng.choose rng all_kinds } ];
+        events =
+          [
+            Arrive
+              { fid = i + 1; kind = Stdx.Prng.choose rng all_kinds; tenant = None };
+          ];
       })
 
 type zipf_config = {
@@ -84,6 +90,7 @@ type zipf_config = {
   resident_target : int;
   exponent : float;
   zipf_kinds : kind array;
+  tenant_weights : int array;
 }
 
 let default_zipf_config =
@@ -93,6 +100,7 @@ let default_zipf_config =
     resident_target = 64;
     exponent = 0.99;
     zipf_kinds = extended_kinds;
+    tenant_weights = [||];
   }
 
 let zipf_churn config rng =
@@ -102,10 +110,36 @@ let zipf_churn config rng =
     invalid_arg "Churn.zipf_churn: resident_target < 0";
   if Array.length config.zipf_kinds = 0 then
     invalid_arg "Churn.zipf_churn: empty kinds";
+  if Array.exists (fun w -> w <= 0) config.tenant_weights then
+    invalid_arg "Churn.zipf_churn: tenant weights must be positive";
   let zipf =
     Zipf.create ~exponent:config.exponent
       ~n:(Array.length config.zipf_kinds)
       (Stdx.Prng.split rng)
+  in
+  (* Tenant labelling draws from its own split stream so enabling tenants
+     never perturbs the kind/departure draws, and the no-tenant path makes
+     zero extra PRNG calls — byte-identical to the pre-tenant generator. *)
+  let draw_tenant =
+    if Array.length config.tenant_weights = 0 then fun () -> None
+    else begin
+      let trng = Stdx.Prng.split rng in
+      let total = Array.fold_left ( + ) 0 config.tenant_weights in
+      fun () ->
+        let r = Stdx.Prng.int trng total in
+        let acc = ref 0 and pick = ref 0 in
+        (try
+           Array.iteri
+             (fun i w ->
+               acc := !acc + w;
+               if r < !acc then begin
+                 pick := i;
+                 raise Exit
+               end)
+             config.tenant_weights
+         with Exit -> ());
+        Some !pick
+    end
   in
   (* Swap-remove array of fids assumed alive in the generated sequence so a
      uniform departure is O(1); the consumer's allocator may have rejected
@@ -143,7 +177,7 @@ let zipf_churn config rng =
         incr next_fid;
         let kind = config.zipf_kinds.(Zipf.sample zipf) in
         push fid;
-        arrivals := Arrive { fid; kind } :: !arrivals
+        arrivals := Arrive { fid; kind; tenant = draw_tenant () } :: !arrivals
       done;
       let departures = ref [] in
       while !n_alive > config.resident_target do

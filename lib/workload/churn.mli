@@ -16,7 +16,12 @@ val extended_kinds : kind array
 (** The paper's three plus the two services this repo adds (flow counter,
     Bloom filter), for the extended-workload experiment. *)
 
-type event = Arrive of { fid : int; kind : kind } | Depart of { fid : int }
+type event =
+  | Arrive of { fid : int; kind : kind; tenant : int option }
+      (** [tenant] labels the arrival with the submitting tenant when the
+          generator runs a multi-tenant mix; [None] everywhere else, so
+          single-tenant consumers can ignore it. *)
+  | Depart of { fid : int }
 
 type epoch = { index : int; events : event list }
 
@@ -57,6 +62,13 @@ type zipf_config = {
           epoch's arrivals, keeping the switch near steady-state load *)
   exponent : float;  (** Zipf exponent over [zipf_kinds] popularity ranks *)
   zipf_kinds : kind array;  (** popularity order: index 0 is the head *)
+  tenant_weights : int array;
+      (** when non-empty, each arrival carries [tenant = Some i] with [i]
+          drawn proportionally to [tenant_weights.(i)] from a dedicated
+          split PRNG stream (a 10x-weight hostile tenant is
+          [[| 10; 1; ...; 1 |]]).  The empty default makes zero extra PRNG
+          draws, keeping the no-tenant sequence byte-identical to older
+          generators. *)
 }
 
 val default_zipf_config : zipf_config

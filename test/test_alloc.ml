@@ -136,6 +136,71 @@ let test_pool_map_no_overlap () =
   let owned = Array.to_list m |> List.filter (fun f -> f >= 0) in
   Alcotest.(check int) "used = owned blocks" (Pool.used_blocks p) (List.length owned)
 
+let test_pool_unfill_roundtrip () =
+  let p = Pool.create ~total_blocks:32 in
+  ignore (Pool.add_inelastic p ~fid:1 ~blocks:8);
+  ignore (Pool.add_elastic p ~fid:2 ~min_blocks:2);
+  ignore (Pool.add_elastic p ~fid:3 ~min_blocks:2);
+  let layout1 = Pool.refill_elastic p in
+  Alcotest.(check int) "filled" 32 (Pool.used_blocks p);
+  Pool.unfill_elastic p;
+  (* Shares are withdrawn, but no decision input changes: residency,
+     minimums and feasibility all read counters, not ranges. *)
+  Alcotest.(check int) "only pinned blocks held" 8 (Pool.used_blocks p);
+  Alcotest.(check int) "mins still reserved" 20 (Pool.fungible_blocks p);
+  Alcotest.(check int) "residents unchanged" 2 (Pool.n_elastic p);
+  Alcotest.(check bool) "elastic feasibility unchanged" true
+    (Pool.can_fit_elastic p ~min_blocks:20);
+  Array.iter
+    (fun f -> Alcotest.(check bool) "no elastic blocks mapped" true (f <> 2 && f <> 3))
+    (Pool.map p);
+  let layout2 = Pool.refill_elastic p in
+  Alcotest.(check int) "refilled" 32 (Pool.used_blocks p);
+  List.iter2
+    (fun (f1, r1) (f2, r2) ->
+      Alcotest.(check int) "same fid order" f1 f2;
+      Alcotest.(check int) "same share" r1.Pool.n_blocks r2.Pool.n_blocks)
+    layout1 layout2
+
+let test_pool_unfill_idempotent () =
+  let p = Pool.create ~total_blocks:16 in
+  ignore (Pool.add_elastic p ~fid:1 ~min_blocks:1);
+  ignore (Pool.refill_elastic p);
+  Pool.unfill_elastic p;
+  Pool.unfill_elastic p;
+  (* Double withdrawal must not go negative or double-subtract. *)
+  Alcotest.(check int) "used stays zero" 0 (Pool.used_blocks p);
+  (match Pool.refill_elastic p with
+  | [ (1, r) ] -> Alcotest.(check int) "full share back" 16 r.Pool.n_blocks
+  | _ -> Alcotest.fail "one elastic resident");
+  (* Unfill on a pool with no elastic residents is a no-op. *)
+  let q = Pool.create ~total_blocks:8 in
+  ignore (Pool.add_inelastic q ~fid:1 ~blocks:3);
+  Pool.unfill_elastic q;
+  Alcotest.(check int) "pinned untouched" 3 (Pool.used_blocks q);
+  Alcotest.(check (list (pair int (of_pp (fun _ _ -> ()))))) "empty refill" []
+    (Pool.refill_elastic q)
+
+let test_pool_unfill_then_pin_into_zone () =
+  (* The batched-admission sequence unfill_elastic exists for: a pin that
+     raises the high-water mark into blocks a stale elastic range covers
+     must not read as an overlap. *)
+  let p = Pool.create ~total_blocks:32 in
+  ignore (Pool.add_elastic p ~fid:1 ~min_blocks:1);
+  ignore (Pool.refill_elastic p);
+  Pool.unfill_elastic p;
+  (match Pool.add_inelastic p ~fid:2 ~blocks:10 with
+  | Ok r -> Alcotest.(check int) "pins at bottom" 0 r.Pool.first_block
+  | Error `No_space -> Alcotest.fail "fits");
+  (match Pool.refill_elastic p with
+  | [ (1, r) ] ->
+    Alcotest.(check int) "repacked above new mark" 10 r.Pool.first_block;
+    Alcotest.(check int) "rest of the pool" 22 r.Pool.n_blocks
+  | _ -> Alcotest.fail "one elastic resident");
+  (* map raises if any two residents overlap — the invariant at stake. *)
+  let owned = Array.to_list (Pool.map p) |> List.filter (fun f -> f >= 0) in
+  Alcotest.(check int) "fully mapped" 32 (List.length owned)
+
 let prop_pool_progressive_fill =
   QCheck.Test.make ~name:"progressive filling: budget exhausted, mins kept"
     ~count:200
@@ -682,6 +747,9 @@ let () =
             test_pool_progressive_fill_respects_minimums;
           Alcotest.test_case "fungible blocks" `Quick test_pool_fungible;
           Alcotest.test_case "map consistency" `Quick test_pool_map_no_overlap;
+          Alcotest.test_case "unfill roundtrip" `Quick test_pool_unfill_roundtrip;
+          Alcotest.test_case "unfill idempotent" `Quick test_pool_unfill_idempotent;
+          Alcotest.test_case "unfill then pin" `Quick test_pool_unfill_then_pin_into_zone;
           Alcotest.test_case "max hole" `Quick test_pool_max_hole;
           QCheck_alcotest.to_alcotest prop_pool_progressive_fill;
           QCheck_alcotest.to_alcotest prop_pool_max_min_characterization;

@@ -97,7 +97,7 @@ let mixed_kinds ~n ~seed =
     (fun (e : Churn.epoch) ->
       List.filter_map
         (function
-          | Churn.Arrive { fid; kind } -> Some (fid, kind)
+          | Churn.Arrive { fid; kind; _ } -> Some (fid, kind)
           | Churn.Depart _ -> None)
         e.Churn.events)
     (Churn.mixed_arrivals ~n (Stdx.Prng.create ~seed))
@@ -142,6 +142,59 @@ let test_spillover () =
     (Telemetry.counter_value tel "fleet.spillover" > 0);
   Alcotest.(check bool) "fleet-wide rejection counted" true
     (Telemetry.counter_value tel "fleet.rejected" > 0)
+
+let test_global_admission_queue () =
+  let module Tenant = Activermt_tenant.Tenant in
+  let tel = Telemetry.create () in
+  let topo = Topology.full_mesh ~switches:2 ~latency_s:1e-5 in
+  let registry = Tenant.create () in
+  (* One heavy-hitter (96 blocks) fits tenant 1's 100-block global
+     ration; a second can never. *)
+  ignore (Tenant.register registry ~quota:(Tenant.quota_blocks 100) 1);
+  ignore (Tenant.register registry 2);
+  let fleet =
+    Fleet.create ~policy:Placement.First_fit_switch ~params:small_params
+      ~tenants:registry ~telemetry:tel topo
+  in
+  Fleet.enqueue_admission fleet ~tenant:1 ~fid:1 hh;
+  Fleet.enqueue_admission fleet ~tenant:1 ~fid:2 hh;
+  for fid = 3 to 14 do
+    Fleet.enqueue_admission fleet ~tenant:2 ~fid hh
+  done;
+  (* The registry-less path still works alongside tenant submissions. *)
+  Fleet.enqueue_admission fleet ~fid:15 counter;
+  Alcotest.(check int) "queued" 15 (Fleet.admission_queue_depth fleet);
+  let results = Fleet.drain_admissions fleet in
+  Alcotest.(check int) "queue drained" 0 (Fleet.admission_queue_depth fleet);
+  Alcotest.(check (list int)) "one outcome per fid, ascending"
+    (List.init 15 (fun i -> i + 1))
+    (List.map fst results);
+  (match List.assoc 1 results with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "tenant 1's first service fits its quota");
+  (match List.assoc 2 results with
+  | Error `Over_quota -> ()
+  | _ -> Alcotest.fail "tenant 1's second service is over quota");
+  (match List.assoc 15 results with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "untenanted counter fits");
+  (* 12 heavy hitters overflow one switch: placement must spill across
+     both, and the registry's fleet-global charge tracks what landed. *)
+  Alcotest.(check bool) "both switches host residents" true
+    (Fleet.residents_of fleet ~sw:0 <> [] && Fleet.residents_of fleet ~sw:1 <> []);
+  let ok_t2 =
+    List.length
+      (List.filter
+         (fun (fid, r) -> fid >= 3 && fid <= 14 && Result.is_ok r)
+         results)
+  in
+  Alcotest.(check bool) "tenant 2 placed services" true (ok_t2 > 0);
+  Alcotest.(check int) "tenant 2 charged per placement" (96 * ok_t2)
+    (Tenant.usage registry 2).Tenant.blocks;
+  Alcotest.(check int) "tenant 1 charged once" 96
+    (Tenant.usage registry 1).Tenant.blocks;
+  Alcotest.(check int) "enqueues counted" 15
+    (Telemetry.counter_value tel "fleet.adm.enqueued")
 
 let test_fleet_beats_single_switch () =
   let admitted ~switches =
@@ -346,6 +399,8 @@ let () =
           Alcotest.test_case "deterministic given seed" `Quick
             test_placement_deterministic;
           Alcotest.test_case "spill-over" `Quick test_spillover;
+          Alcotest.test_case "global admission queue" `Quick
+            test_global_admission_queue;
           Alcotest.test_case "4 switches beat 1" `Quick
             test_fleet_beats_single_switch;
         ] );

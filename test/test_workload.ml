@@ -198,7 +198,7 @@ let zipf_arrivals epochs =
     (fun e ->
       List.filter_map
         (function
-          | Churn.Arrive { fid; kind } -> Some (fid, kind)
+          | Churn.Arrive { fid; kind; _ } -> Some (fid, kind)
           | Churn.Depart _ -> None)
         e.Churn.events)
     epochs
@@ -265,7 +265,55 @@ let test_zipf_churn_invalid_configs () =
   Alcotest.(check bool) "negative clients" true
     (raises { zcfg with Churn.clients = -1 });
   Alcotest.(check bool) "empty kinds" true
-    (raises { zcfg with Churn.zipf_kinds = [||] })
+    (raises { zcfg with Churn.zipf_kinds = [||] });
+  Alcotest.(check bool) "non-positive tenant weight" true
+    (raises { zcfg with Churn.tenant_weights = [| 2; 0 |] })
+
+let wzcfg = { zcfg with Churn.tenant_weights = [| 1; 3 |] }
+
+let test_zipf_churn_tenant_labels () =
+  let epochs = force wzcfg 11 in
+  let tenants =
+    List.concat_map
+      (fun e ->
+        List.filter_map
+          (function
+            | Churn.Arrive { tenant; _ } -> Some tenant
+            | Churn.Depart _ -> None)
+          e.Churn.events)
+      epochs
+  in
+  Alcotest.(check bool) "every arrival labelled in range" true
+    (List.for_all (function Some (0 | 1) -> true | _ -> false) tenants);
+  let count t = List.length (List.filter (( = ) (Some t)) tenants) in
+  (* Weight 3 vs 1: the heavy tenant should dominate well beyond noise
+     over 2000 arrivals. *)
+  Alcotest.(check bool) "weights skew the draw" true (count 1 > 2 * count 0);
+  Alcotest.(check bool) "deterministic" true (force wzcfg 11 = force wzcfg 11)
+
+let test_zipf_churn_tenants_perturb_nothing () =
+  (* Tenant labels come from their own split stream seeded at setup, so
+     enabling weights changes neither the arrival (fid, kind) sequence
+     (kinds draw from the zipf stream, split off first) nor the event
+     shape: epoch count and per-epoch arrival/departure counts are
+     alive-set arithmetic, independent of which fids the labels ride on.
+     With weights empty no extra draw happens at all — the no-tenant
+     sequence is byte-identical to the pre-tenant generator's. *)
+  let plain = force zcfg 13 and weighted = force wzcfg 13 in
+  Alcotest.(check bool) "same (fid, kind) arrivals" true
+    (zipf_arrivals plain = zipf_arrivals weighted);
+  let shape epochs =
+    List.map
+      (fun e ->
+        let arr, dep =
+          List.partition
+            (function Churn.Arrive _ -> true | Churn.Depart _ -> false)
+            e.Churn.events
+        in
+        (e.Churn.index, List.length arr, List.length dep))
+      epochs
+  in
+  Alcotest.(check bool) "same epoch shape" true (shape plain = shape weighted)
 
 let () =
   Alcotest.run "workload"
@@ -306,5 +354,8 @@ let () =
           Alcotest.test_case "resident bound" `Quick test_zipf_churn_resident_bound;
           Alcotest.test_case "popularity skew" `Quick test_zipf_churn_popularity_skew;
           Alcotest.test_case "invalid configs" `Quick test_zipf_churn_invalid_configs;
+          Alcotest.test_case "tenant labels" `Quick test_zipf_churn_tenant_labels;
+          Alcotest.test_case "tenants perturb nothing" `Quick
+            test_zipf_churn_tenants_perturb_nothing;
         ] );
     ]
