@@ -300,6 +300,82 @@ let compare_tenants ~max_growth ~failures base_json cur_json =
             bn)
       base_rows
 
+(* The fleetscale section (planet-scale fat-tree fleet).  Absolute gates
+   hold baseline or not, exactly like the tenants floors:
+   - zero FID loss through the rolling pod failure ([lost] == 0 and the
+     [consistent] audit == 1);
+   - the link-flap repair stays under the [max_flap_frac] ceiling the
+     section itself declares (deterministic: touched / routed pairs).
+   Baseline-relative gates:
+   - [concurrent] admitted services may not drop below
+     (1 - max_drop) x baseline;
+   - [place_p99_us] is wall-clock derived, so it gets the loose
+     [max_growth] ceiling like the fastpath p99 rows. *)
+let fleetscale_row json =
+  match Json.member "fleetscale" json with
+  | None -> None
+  | Some section ->
+    let num key =
+      match Json.(member key section |> Option.map to_num) with
+      | Some (Some v) -> Some v
+      | _ -> None
+    in
+    Some
+      ( num "concurrent",
+        num "lost",
+        num "consistent",
+        num "flap_frac",
+        num "max_flap_frac",
+        num "place_p99_us" )
+
+let compare_fleetscale ~max_drop ~max_growth ~failures base_json cur_json =
+  match fleetscale_row cur_json with
+  | None -> ()
+  | Some (c_conc, c_lost, c_cons, c_frac, c_max_frac, c_p99) ->
+    let gate name ok fmt =
+      Printf.ksprintf
+        (fun detail ->
+          if not ok then incr failures;
+          Printf.printf "%-7s  fleetscale  %-16s %s\n"
+            (if ok then "OK" else "REGRESS")
+            name detail)
+        fmt
+    in
+    let missing name =
+      incr failures;
+      Printf.printf "MISSING  fleetscale  %-16s absent from candidate section\n"
+        name
+    in
+    (match c_lost with
+    | None -> missing "lost"
+    | Some l -> gate "lost" (l = 0.0) "%.0f FIDs" l);
+    (match c_cons with
+    | None -> missing "consistent"
+    | Some c ->
+      gate "fid_audit" (c = 1.0) "%s" (if c = 1.0 then "clean" else "FAILED"));
+    (match c_frac with
+    | None -> missing "flap_frac"
+    | Some f ->
+      let ceil = Option.value ~default:0.05 c_max_frac in
+      gate "flap_frac" (f <= ceil) "%.4f%% (ceil %.1f%%)" (100.0 *. f)
+        (100.0 *. ceil));
+    (match fleetscale_row base_json with
+    | None -> ()
+    | Some (b_conc, _, _, _, _, b_p99) ->
+      (match (c_conc, b_conc) with
+      | Some c, Some b ->
+        let floor = (1.0 -. max_drop) *. b in
+        gate "concurrent" (c >= floor) "%.0f -> %.0f services (floor %.0f)" b c
+          floor
+      | None, Some _ -> missing "concurrent"
+      | _ -> ());
+      match (c_p99, b_p99) with
+      | Some c, Some b ->
+        let ceil = max_growth *. b in
+        gate "place_p99_us" (c <= ceil) "%8.1f -> %8.1f us (ceil %8.1f)" b c
+          ceil
+      | _ -> ())
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse paths drop growth = function
@@ -341,6 +417,7 @@ let () =
   compare_device ~max_drop ~failures base_json cur_json;
   compare_churn ~max_drop ~max_growth ~failures base_json cur_json;
   compare_tenants ~max_growth ~failures base_json cur_json;
+  compare_fleetscale ~max_drop ~max_growth ~failures base_json cur_json;
   (* Candidate-only entries: new configurations the baseline doesn't
      know yet.  Report, don't gate. *)
   List.iter

@@ -1,0 +1,123 @@
+(* Planet-scale fleet benchmark (the BENCH_alloc.json "fleetscale"
+   section): the Experiments.Fleet_scale scenario — a fat-tree fleet
+   admitting a large concurrent service population through the batched
+   epoch pipeline under hierarchical placement, a link-flap drill
+   against the incremental router, and a rolling pod failure.
+
+   Hard gates (in-binary, independent of any baseline):
+   - zero FID loss and zero orphans through the rolling pod failure
+   - every offered service admitted (full mode: >= 100k concurrent on
+     1024 switches)
+   - a single link flap touches < 5% of routed (src, dst) pairs *)
+
+module Topology = Activermt_fleet.Topology
+module Telemetry = Activermt_telemetry.Telemetry
+module Json = Activermt_telemetry.Json
+module Fleet_scale = Experiments.Fleet_scale
+module Stats = Stdx.Stats
+
+let max_flap_frac = 0.05
+
+let merge_into_bench_json ~path section =
+  let existing =
+    if Sys.file_exists path then
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.of_string text with Ok v -> Json.to_obj v | Error _ -> None
+    else None
+  in
+  let fields =
+    match existing with
+    | Some fields ->
+      List.remove_assoc "fleetscale" fields @ [ ("fleetscale", section) ]
+    | None -> [ ("fleetscale", section) ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true (Json.Obj fields));
+  output_char oc '\n';
+  close_out oc
+
+let run ~quick =
+  let cfg =
+    if quick then Fleet_scale.quick_config else Fleet_scale.default_config
+  in
+  Printf.printf
+    "== Planet-scale fleet: k=%d fat-tree, %d services, rolling pod failure ==\n"
+    cfg.Fleet_scale.k cfg.Fleet_scale.services;
+  let t0 = Unix.gettimeofday () in
+  let r = Fleet_scale.run_scenario ~log:print_endline cfg in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let p50 = Stats.percentile r.Fleet_scale.place_us 50.0 in
+  let p99 = Stats.percentile r.Fleet_scale.place_us 99.0 in
+  Printf.printf "placement cost: p50 %.1f us/service, p99 %.1f us/service\n" p50
+    p99;
+  Printf.printf "scenario wall time: %.1f s\n" wall_s;
+
+  (* Hard gates. *)
+  if r.Fleet_scale.lost > 0 then
+    failwith "fleetscale bench: rolling pod failure lost FIDs";
+  if r.Fleet_scale.orphans > 0 then
+    failwith "fleetscale bench: residents left on down switches";
+  if r.Fleet_scale.concurrent < r.Fleet_scale.offered then
+    failwith
+      (Printf.sprintf
+         "fleetscale bench: only %d of %d services concurrently admitted"
+         r.Fleet_scale.concurrent r.Fleet_scale.offered);
+  if (not quick) && r.Fleet_scale.concurrent < 100_000 then
+    failwith "fleetscale bench: headline run below 100k concurrent services";
+  if r.Fleet_scale.flap_frac >= max_flap_frac then
+    failwith
+      (Printf.sprintf
+         "fleetscale bench: link flap touched %.2f%% of routed pairs (gate %.0f%%)"
+         (100.0 *. r.Fleet_scale.flap_frac)
+         (100.0 *. max_flap_frac));
+  let consistent =
+    if r.Fleet_scale.lost = 0 && r.Fleet_scale.orphans = 0 then 1.0 else 0.0
+  in
+
+  (* Headline numbers ride the process registry for --metrics-out. *)
+  let tel = Telemetry.default in
+  Telemetry.set_gauge tel "fleetscale.switches"
+    (float_of_int r.Fleet_scale.switches);
+  Telemetry.set_gauge tel "fleetscale.concurrent"
+    (float_of_int r.Fleet_scale.concurrent);
+  Telemetry.set_gauge tel "fleetscale.occupancy" r.Fleet_scale.occupancy;
+  Telemetry.set_gauge tel "fleetscale.place_p99_us" p99;
+  Telemetry.set_gauge tel "fleetscale.flap_frac" r.Fleet_scale.flap_frac;
+  Telemetry.set_gauge tel "fleetscale.relocated"
+    (float_of_int r.Fleet_scale.relocated);
+  Telemetry.set_gauge tel "fleetscale.lost" (float_of_int r.Fleet_scale.lost);
+
+  let num n = Json.Num (float_of_int n) in
+  let section =
+    Json.Obj
+      [
+        ("k", num cfg.Fleet_scale.k);
+        ("switches", num r.Fleet_scale.switches);
+        ("links", num r.Fleet_scale.links);
+        ("pods", num r.Fleet_scale.n_pods);
+        ("offered", num r.Fleet_scale.offered);
+        ("admitted", num r.Fleet_scale.admitted);
+        ("concurrent", num r.Fleet_scale.concurrent);
+        ("rejected", num r.Fleet_scale.rejected);
+        ("spillover", num r.Fleet_scale.spillover);
+        ("adm_epochs", num r.Fleet_scale.adm_epochs);
+        ("occupancy", Json.Num r.Fleet_scale.occupancy);
+        ("place_p50_us", Json.Num (Float.round (p50 *. 10.0) /. 10.0));
+        ("place_p99_us", Json.Num (Float.round (p99 *. 10.0) /. 10.0));
+        ("sssp_runs", num r.Fleet_scale.sssp_runs);
+        ("routed_pairs", num r.Fleet_scale.routed_pairs);
+        ( "flap_touched",
+          num (max r.Fleet_scale.flap_down_touched r.Fleet_scale.flap_up_touched)
+        );
+        ("flap_frac", Json.Num r.Fleet_scale.flap_frac);
+        ("max_flap_frac", Json.Num max_flap_frac);
+        ("failed_switches", num r.Fleet_scale.failed_switches);
+        ("relocated", num r.Fleet_scale.relocated);
+        ("lost", num r.Fleet_scale.lost);
+        ("consistent", Json.Num consistent);
+      ]
+  in
+  merge_into_bench_json ~path:"BENCH_alloc.json" section;
+  print_endline "merged fleetscale section into BENCH_alloc.json"

@@ -161,13 +161,9 @@ let experiments =
     };
     {
       name = "fleetscale";
-      info = "fleet scaling sweep: switch count x offered load";
-      run =
-        (fun ~quick ->
-          let arrival_counts = if quick then [ 50; 100 ] else [ 50; 150; 300 ] in
-          let switch_counts = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
-          E.Fleet_scale.run ~switch_counts ~arrival_counts
-            (Rmt.Params.with_blocks_per_stage params 32));
+      info =
+        "planet-scale fleet: fat-tree admission, link-flap repair, pod failure (BENCH_alloc.json)";
+      run = (fun ~quick -> Fleetscale_bench.run ~quick);
     };
     { name = "micro"; info = "Bechamel microbenchmarks"; run = (fun ~quick:_ -> Micro.run ()) };
   ]

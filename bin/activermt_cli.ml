@@ -9,6 +9,9 @@
      churnsim Zipf client churn through the batched epoch admission pipeline
      tenantsim multi-tenant noisy-neighbor scenario (quotas, WRR, preemption)
      fleetsim replay a service workload against a multi-switch fleet
+              (mesh/line/star/fat-tree/leaf-spine; --batch, --flap,
+              --pod-fail, --summary-out)
+     routecheck incremental-router equivalence vs the Floyd-Warshall oracle
      faultsim run the protocol stack under a seeded fault profile
      tracequery filter and render a Chrome trace dump as causal trees
      apps     print the bundled example services *)
@@ -347,23 +350,41 @@ and cmd_churnsim clients batch resident seed summary_out metrics_out trace_out
   write_metrics metrics_out;
   write_trace tracer trace_out
 
-and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw no_jit
-    metrics_out trace_out trace_sample =
+and cmd_fleetsim switches topo_kind k ft_pods leaves spines policy arrivals
+    batch seed fail_sw pod_fail flap summary_out no_jit metrics_out trace_out
+    trace_sample =
   let module Topology = Activermt_fleet.Topology in
   let module Placement = Activermt_fleet.Placement in
   let module Fleet = Activermt_fleet.Fleet in
   let module Churn = Workload.Churn in
+  let topo =
+    try
+      match topo_kind with
+      | `Mesh -> Topology.full_mesh ~switches ~latency_s:1e-5
+      | `Line -> Topology.line ~switches ~latency_s:1e-5
+      | `Star -> Topology.star ~switches ~latency_s:1e-5
+      | `Fat_tree -> (
+        match ft_pods with
+        | Some pods -> Topology.fat_tree ~pods ~k ()
+        | None -> Topology.fat_tree ~k ())
+      | `Leaf_spine -> Topology.leaf_spine ~leaves ~spines ()
+    with Invalid_argument e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+  in
+  (* Fat-tree / leaf-spine fleets derive their own switch count. *)
+  let switches = Topology.switches topo in
   (match fail_sw with
   | Some sw when sw < 0 || sw >= switches ->
     Printf.eprintf "error: --fail %d out of range for %d switches\n" sw switches;
     exit 1
   | _ -> ());
-  let topo =
-    match topo_kind with
-    | `Mesh -> Topology.full_mesh ~switches ~latency_s:1e-5
-    | `Line -> Topology.line ~switches ~latency_s:1e-5
-    | `Star -> Topology.star ~switches ~latency_s:1e-5
-  in
+  (match pod_fail with
+  | Some p when p < 0 || p >= Topology.n_pods topo ->
+    Printf.eprintf "error: --pod-fail %d out of range for %d pods\n" p
+      (Topology.n_pods topo);
+    exit 1
+  | _ -> ());
   let tracer = make_tracer trace_out trace_sample in
   let fleet = Fleet.create ~policy ~jit:(not no_jit) ~tracer topo in
   let events =
@@ -376,23 +397,109 @@ and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw no_jit
           e.Churn.events)
       (Churn.mixed_arrivals ~n:arrivals (Stdx.Prng.create ~seed))
   in
-  Printf.printf "fleetsim: %d switches (%s), %s placement, %d arrivals, seed %d\n"
-    switches
-    (match topo_kind with `Mesh -> "full mesh" | `Line -> "line" | `Star -> "star")
+  let topo_name =
+    match topo_kind with
+    | `Mesh -> "full mesh"
+    | `Line -> "line"
+    | `Star -> "star"
+    | `Fat_tree -> Printf.sprintf "fat-tree k=%d" k
+    | `Leaf_spine -> Printf.sprintf "leaf-spine %dx%d" leaves spines
+  in
+  Printf.printf
+    "fleetsim: %d switches (%s, %d pods), %s placement, %d arrivals, seed %d%s\n"
+    switches topo_name (Topology.n_pods topo)
     (Placement.policy_to_string policy)
-    arrivals seed;
+    arrivals seed
+    (if batch > 1 then Printf.sprintf ", batched x%d" batch else "");
   let halfway = List.length events / 2 in
-  List.iteri
-    (fun i (fid, kind) ->
-      (match fail_sw with
-      | Some sw when i = halfway && Fleet.is_up fleet ~sw ->
-        let { Fleet.relocated; lost } = Fleet.fail_switch fleet ~sw in
-        Printf.printf
-          "-- switch %d failed after %d arrivals: %d relocated, %d lost\n" sw i
-          (List.length relocated) (List.length lost)
-      | _ -> ());
-      ignore (Fleet.admit fleet ~fid (Experiments.Harness.app_of_kind kind)))
-    events;
+  let fail_drill ~after =
+    match fail_sw with
+    | Some sw when Fleet.is_up fleet ~sw ->
+      let { Fleet.relocated; lost } = Fleet.fail_switch fleet ~sw in
+      Printf.printf
+        "-- switch %d failed after %d arrivals: %d relocated, %d lost\n" sw
+        after (List.length relocated) (List.length lost)
+    | _ -> ()
+  in
+  if batch <= 1 then
+    (* The sequential admit path, one placement per arrival. *)
+    List.iteri
+      (fun i (fid, kind) ->
+        if i = halfway then fail_drill ~after:i;
+        ignore (Fleet.admit fleet ~fid (Experiments.Harness.app_of_kind kind)))
+      events
+  else begin
+    (* Chunk the arrival stream into epochs of [batch] and push each
+       through the fleet's enqueue/drain admission pipeline; the --fail
+       drill fires before the epoch that spans the halfway mark. *)
+    let rec epochs i = function
+      | [] -> ()
+      | l ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: rest -> take (n - 1) (x :: acc) rest
+        in
+        let chunk, rest = take batch [] l in
+        if i <= halfway && halfway < i + List.length chunk then
+          fail_drill ~after:i;
+        List.iter
+          (fun (fid, kind) ->
+            Fleet.enqueue_admission fleet ~fid
+              (Experiments.Harness.app_of_kind kind))
+          chunk;
+        ignore (Fleet.drain_admissions fleet);
+        epochs (i + List.length chunk) rest
+    in
+    epochs 0 events
+  end;
+  (* Link-flap drill against fully built tables: one link of a shortest
+     0 -> n-1 path goes down and comes back, and we report how many
+     routed (src, dst) pairs each transition's repair touched. *)
+  let flap_stats =
+    if not flap then None
+    else begin
+      Topology.build_all_routes topo;
+      let routed = Topology.routed_pairs topo in
+      match Topology.next_hop topo ~src:0 ~dst:(switches - 1) with
+      | None ->
+        Printf.printf "link flap: switch 0 cannot reach %d, drill skipped\n"
+          (switches - 1);
+        None
+      | Some b ->
+        let s0 = Topology.stats topo in
+        ignore (Topology.set_link topo ~a:0 ~b ~up:false);
+        let s1 = Topology.stats topo in
+        ignore (Topology.set_link topo ~a:0 ~b ~up:true);
+        let s2 = Topology.stats topo in
+        let down = s1.Topology.pairs_touched - s0.Topology.pairs_touched in
+        let up = s2.Topology.pairs_touched - s1.Topology.pairs_touched in
+        Printf.printf "link flap 0-%d: %d pairs touched down, %d up, of %d routed\n"
+          b down up routed;
+        Some (b, down, up, routed)
+    end
+  in
+  (* Rolling pod failure: every live switch of the pod goes down one by
+     one, each failure re-placing its residents on the survivors. *)
+  let pod_stats =
+    match pod_fail with
+    | None -> None
+    | Some pod ->
+      let failed, relocated, lost =
+        List.fold_left
+          (fun (f, r, l) sw ->
+            if Fleet.is_up fleet ~sw then
+              let { Fleet.relocated; lost } = Fleet.fail_switch fleet ~sw in
+              (f + 1, r + List.length relocated, l + List.length lost)
+            else (f, r, l))
+          (0, 0, 0)
+          (Topology.pod_members topo ~pod)
+      in
+      Printf.printf
+        "-- rolling pod %d failure: %d switches down, %d relocated, %d lost\n"
+        pod failed relocated lost;
+      Some (failed, relocated, lost)
+  in
   (* With tracing on, probe a few resident services from clients homed on
      a different switch: each probe is a head-sampled capsule whose trace
      crosses the inter-switch bridge and executes where the service
@@ -433,13 +540,22 @@ and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw no_jit
     Printf.printf "trace: probed %d services cross-switch\n" !probed
   end;
   let tel = Telemetry.default in
-  Printf.printf "%-8s %-5s %-10s %-12s\n" "switch" "up" "residents" "utilization";
-  List.iter
-    (fun { Placement.switch; utilization; residents; up } ->
-      Printf.printf "%-8d %-5s %-10d %-12.3f\n" switch
-        (if up then "yes" else "DOWN")
-        residents utilization)
-    (Fleet.loads fleet);
+  if switches <= 64 then begin
+    Printf.printf "%-8s %-5s %-10s %-12s\n" "switch" "up" "residents"
+      "utilization";
+    List.iter
+      (fun { Placement.switch; utilization; residents; up } ->
+        Printf.printf "%-8d %-5s %-10d %-12.3f\n" switch
+          (if up then "yes" else "DOWN")
+          residents utilization)
+      (Fleet.loads fleet)
+  end
+  else Printf.printf "(%d switches; per-switch load table suppressed)\n" switches;
+  let occupancy =
+    match Telemetry.gauge_value tel "fleet.occupancy" with
+    | Some v -> v
+    | None -> 0.0
+  in
   Printf.printf
     "admitted %d  rejected %d  spillover %d  migrated %d  lost %d  occupancy %.3f\n"
     (Telemetry.counter_value tel "fleet.admitted")
@@ -447,9 +563,59 @@ and cmd_fleetsim switches topo_kind policy arrivals seed fail_sw no_jit
     (Telemetry.counter_value tel "fleet.spillover")
     (Telemetry.counter_value tel "fleet.migrated")
     (Telemetry.counter_value tel "fleet.lost")
-    (match Telemetry.gauge_value tel "fleet.occupancy" with
-    | Some v -> v
-    | None -> 0.0);
+    occupancy;
+  (* Deterministic summary: counts and modeled occupancy only — no wall
+     times — so two same-seed runs dump byte-identical files for the CI
+     determinism job to [cmp]. *)
+  (match summary_out with
+  | None -> ()
+  | Some path ->
+    let int v = Json.Num (float_of_int v) in
+    let counter c = int (Telemetry.counter_value tel c) in
+    let summary =
+      Json.Obj
+        ([
+           ("topology", Json.Str topo_name);
+           ("switches", int switches);
+           ("links", int (Topology.n_links topo));
+           ("pods", int (Topology.n_pods topo));
+           ("policy", Json.Str (Placement.policy_to_string policy));
+           ("arrivals", int arrivals);
+           ("batch", int batch);
+           ("seed", int seed);
+           ("admitted", counter "fleet.admitted");
+           ("rejected", counter "fleet.rejected");
+           ("spillover", counter "fleet.spillover");
+           ("migrated", counter "fleet.migrated");
+           ("lost", counter "fleet.lost");
+           ("adm_epochs", counter "fleet.adm.epochs");
+           ("residents", int (List.length (Fleet.residents fleet)));
+           ("occupancy", Json.Num occupancy);
+         ]
+        @ (match flap_stats with
+          | None -> []
+          | Some (b, down, up, routed) ->
+            [
+              ("flap_link_peer", int b);
+              ("flap_down_touched", int down);
+              ("flap_up_touched", int up);
+              ("routed_pairs", int routed);
+            ])
+        @
+        match pod_stats with
+        | None -> []
+        | Some (failed, relocated, lost) ->
+          [
+            ("pod_failed_switches", int failed);
+            ("pod_relocated", int relocated);
+            ("pod_lost", int lost);
+          ])
+    in
+    let oc = open_out path in
+    output_string oc (Json.to_string ~pretty:true summary);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote fleet summary to %s\n" path);
   for sw = 0 to switches - 1 do
     Activermt.Jit.flush_stats (Netsim.Fabric.jit (Fleet.fabric fleet ~sw))
   done;
@@ -701,6 +867,125 @@ and cmd_apps () =
       Activermt_apps.Counter.service;
       Activermt_apps.Bloom.service;
     ]
+
+(* routecheck: drive the incremental ECMP router across the canned
+   topologies plus a battery of link flaps and switch failures, checking
+   reachability, distances and first-hop sets against the retired
+   Floyd-Warshall router ([Topology.all_pairs_reference]) after every
+   transition.  Vacuity-guarded: the run fails unless it actually
+   compared pairs, applied transitions, and observed multi-path ECMP
+   somewhere — a refactor that silently skips the comparison must not
+   pass. *)
+let cmd_routecheck () =
+  let module Topology = Activermt_fleet.Topology in
+  let approx a b =
+    a = b
+    || Float.is_finite a && Float.is_finite b
+       && Float.abs (a -. b)
+          <= 1e-9 +. (1e-6 *. Float.max (Float.abs a) (Float.abs b))
+  in
+  let pairs = ref 0 and ecmp_multi = ref 0 and transitions = ref 0 in
+  let errors = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr errors;
+        Printf.eprintf "FAIL %s\n" s)
+      fmt
+  in
+  let verify name phase topo =
+    let n = Topology.switches topo in
+    Topology.build_all_routes topo;
+    let dist = Topology.all_pairs_reference topo in
+    for s = 0 to n - 1 do
+      for d = 0 to n - 1 do
+        if s <> d then begin
+          incr pairs;
+          let reach = Topology.connected topo ~src:s ~dst:d in
+          if reach <> Float.is_finite dist.(s).(d) then
+            fail "%s/%s: %d-%d reachable=%b but oracle says %b" name phase s d
+              reach
+              (Float.is_finite dist.(s).(d));
+          if reach then begin
+            let lat = Topology.latency topo ~src:s ~dst:d in
+            if not (approx lat dist.(s).(d)) then
+              fail "%s/%s: %d-%d distance %g vs oracle %g" name phase s d lat
+                dist.(s).(d);
+            match Topology.next_hops topo ~src:s ~dst:d with
+            | [] ->
+              fail "%s/%s: %d-%d reachable but no first hop" name phase s d
+            | hops ->
+              if List.length hops > 1 then incr ecmp_multi;
+              if Topology.next_hop topo ~src:s ~dst:d <> Some (List.hd hops)
+              then
+                fail "%s/%s: %d-%d next_hop is not the lowest ECMP hop" name
+                  phase s d;
+              List.iter
+                (fun h ->
+                  (* Every advertised hop must sit on a shortest path:
+                     dist(s,d) = dist(s,h) + dist(h,d).  The s-h leg is
+                     a single link, and the canned topologies all use
+                     uniform per-link latency, so the direct link is
+                     itself a shortest s-h path. *)
+                  if not (approx dist.(s).(d) (dist.(s).(h) +. dist.(h).(d)))
+                  then
+                    fail "%s/%s: %d-%d hop %d is not on a shortest path" name
+                      phase s d h)
+                hops
+          end
+        end
+      done
+    done
+  in
+  let drill name topo =
+    let n = Topology.switches topo in
+    verify name "initial" topo;
+    (* Flap the first link of a shortest 0 -> n-1 path, down then up,
+       re-verifying the repaired tables after each transition. *)
+    (match Topology.next_hop topo ~src:0 ~dst:(n - 1) with
+    | Some b ->
+      ignore (Topology.set_link topo ~a:0 ~b ~up:false);
+      incr transitions;
+      verify name "link-down" topo;
+      ignore (Topology.set_link topo ~a:0 ~b ~up:true);
+      incr transitions;
+      verify name "link-up" topo
+    | None -> ());
+    (* Fail and restore a mid-fleet switch (isolate = every incident
+       link down), which partitions line-like topologies. *)
+    let sw = n / 2 in
+    transitions := !transitions + Topology.isolate topo ~sw;
+    verify name "isolate" topo;
+    transitions := !transitions + Topology.restore topo ~sw;
+    verify name "restore" topo;
+    let st = Topology.stats topo in
+    Printf.printf
+      "%-14s %3d switches: %d sssp runs, %d repairs, %d pairs touched, %d flaps\n"
+      name n st.Topology.sssp_runs st.Topology.repairs st.Topology.pairs_touched
+      st.Topology.flaps
+  in
+  drill "mesh-6" (Topology.full_mesh ~switches:6 ~latency_s:1e-5);
+  drill "line-5" (Topology.line ~switches:5 ~latency_s:1e-5);
+  drill "star-7" (Topology.star ~switches:7 ~latency_s:1e-5);
+  drill "fat-tree-k4" (Topology.fat_tree ~k:4 ());
+  drill "leaf-spine-4x3" (Topology.leaf_spine ~leaves:4 ~spines:3 ());
+  Printf.printf
+    "routecheck: %d pair checks, %d transitions, %d multi-path pairs\n" !pairs
+    !transitions !ecmp_multi;
+  if !pairs = 0 then (
+    incr errors;
+    prerr_endline "FAIL routecheck: no pairs compared (vacuous run)");
+  if !transitions = 0 then (
+    incr errors;
+    prerr_endline "FAIL routecheck: no link transitions applied (vacuous run)");
+  if !ecmp_multi = 0 then (
+    incr errors;
+    prerr_endline "FAIL routecheck: no multi-path ECMP observed (vacuous run)");
+  if !errors > 0 then begin
+    Printf.eprintf "routecheck: %d failures\n" !errors;
+    exit 1
+  end;
+  print_endline "routecheck: incremental router matches the Floyd-Warshall oracle"
 
 open Cmdliner
 
@@ -958,14 +1243,49 @@ let fleetsim_cmd =
   let switches_arg =
     Arg.value
       (Arg.opt positive_int 4
-         (Arg.info [ "switches" ] ~docv:"N" ~doc:"Number of switches."))
+         (Arg.info [ "switches" ] ~docv:"N"
+            ~doc:"Number of switches (mesh/line/star topologies; fat-tree \
+                  and leaf-spine derive their own count)."))
   in
   let topo_arg =
     Arg.value
       (Arg.opt
-         (Arg.enum [ ("mesh", `Mesh); ("line", `Line); ("star", `Star) ])
+         (Arg.enum
+            [
+              ("mesh", `Mesh);
+              ("line", `Line);
+              ("star", `Star);
+              ("fat-tree", `Fat_tree);
+              ("leaf-spine", `Leaf_spine);
+            ])
          `Mesh
-         (Arg.info [ "topology" ] ~docv:"mesh|line|star"))
+         (Arg.info [ "topology" ]
+            ~docv:"mesh|line|star|fat-tree|leaf-spine"))
+  in
+  let k_arg =
+    Arg.value
+      (Arg.opt positive_int 4
+         (Arg.info [ "k"; "arity" ] ~docv:"K"
+            ~doc:"Fat-tree arity, even (--topology fat-tree)."))
+  in
+  let pods_arg =
+    Arg.value
+      (Arg.opt (Arg.some positive_int) None
+         (Arg.info [ "pods" ] ~docv:"N"
+            ~doc:"Fat-tree pods built out, 1..K (default $(b,K); \
+                  --topology fat-tree)."))
+  in
+  let leaves_arg =
+    Arg.value
+      (Arg.opt positive_int 4
+         (Arg.info [ "leaves" ] ~docv:"N"
+            ~doc:"Leaf switches (--topology leaf-spine)."))
+  in
+  let spines_arg =
+    Arg.value
+      (Arg.opt positive_int 2
+         (Arg.info [ "spines" ] ~docv:"N"
+            ~doc:"Spine switches (--topology leaf-spine)."))
   in
   let policy_arg =
     let pconv =
@@ -975,12 +1295,20 @@ let fleetsim_cmd =
     in
     Arg.value
       (Arg.opt pconv Placement.Least_loaded
-         (Arg.info [ "policy" ] ~docv:"first-fit|least-loaded|locality"))
+         (Arg.info [ "policy" ]
+            ~docv:"first-fit|least-loaded|locality|hierarchical"))
   in
   let arrivals_arg =
     Arg.value
       (Arg.opt positive_int 100
          (Arg.info [ "arrivals" ] ~docv:"N" ~doc:"Seeded mixed arrivals to offer."))
+  in
+  let batch_arg =
+    Arg.value
+      (Arg.opt positive_int 1
+         (Arg.info [ "batch" ] ~docv:"N"
+            ~doc:"Admit through the batched epoch pipeline in epochs of \
+                  $(docv) (1 = the sequential admit path)."))
   in
   let seed_arg =
     Arg.value (Arg.opt Arg.int 7001 (Arg.info [ "seed" ] ~docv:"SEED"))
@@ -992,13 +1320,46 @@ let fleetsim_cmd =
             ~doc:"Fail this switch halfway through the arrival sequence; its \
                   resident services are re-placed on the survivors."))
   in
+  let pod_fail_arg =
+    Arg.value
+      (Arg.opt (Arg.some Arg.int) None
+         (Arg.info [ "pod-fail" ] ~docv:"POD"
+            ~doc:"After admission, fail every switch of this pod one by one \
+                  (rolling pod failure), re-placing residents on the \
+                  survivors."))
+  in
+  let flap_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "flap" ]
+          ~doc:"After admission, take one link down and back up and report \
+                how many routed (src, dst) pairs each transition's \
+                incremental repair touched.")
+  in
+  let summary_out_arg =
+    Arg.value
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "summary-out" ] ~docv:"FILE"
+            ~doc:"Write the deterministic fleet summary (counts and modeled \
+                  occupancy only, no wall times) as JSON to $(docv); \
+                  same-seed runs produce byte-identical files."))
+  in
   Cmd.v
     (Cmd.info "fleetsim"
        ~doc:"replay a service workload against a multi-switch fleet")
     Term.(
-      const cmd_fleetsim $ switches_arg $ topo_arg $ policy_arg $ arrivals_arg
-      $ seed_arg $ fail_arg $ no_jit_arg $ metrics_out_arg $ trace_out_arg
-      $ trace_sample_arg)
+      const cmd_fleetsim $ switches_arg $ topo_arg $ k_arg $ pods_arg
+      $ leaves_arg $ spines_arg $ policy_arg $ arrivals_arg $ batch_arg
+      $ seed_arg $ fail_arg $ pod_fail_arg $ flap_arg $ summary_out_arg
+      $ no_jit_arg $ metrics_out_arg $ trace_out_arg $ trace_sample_arg)
+
+let routecheck_cmd =
+  Cmd.v
+    (Cmd.info "routecheck"
+       ~doc:"check the incremental ECMP router against the Floyd-Warshall \
+             oracle across canned topologies, link flaps and switch failures")
+    Term.(const cmd_routecheck $ const ())
 
 let faultsim_cmd =
   let prob name doc =
@@ -1131,5 +1492,5 @@ let () =
   let info = Cmd.info "activermt" ~doc:"ActiveRMT tools (SIGCOMM 2023 reproduction)" in
   exit (Cmd.eval (Cmd.group info
        [ asm_cmd; disasm_cmd; mutants_cmd; allocsim_cmd; churnsim_cmd;
-         tenantsim_cmd; fleetsim_cmd; faultsim_cmd; tracequery_cmd; trace_cmd;
-         apps_cmd; p4gen_cmd ]))
+         tenantsim_cmd; fleetsim_cmd; routecheck_cmd; faultsim_cmd;
+         tracequery_cmd; trace_cmd; apps_cmd; p4gen_cmd ]))

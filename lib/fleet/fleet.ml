@@ -34,25 +34,36 @@ type t = {
   admissions : pending_admission Queue.t;
   tenants : Tenant.t option;
   memsync_word_budget : int;
+  (* Incrementally maintained per-switch load caches — admission at
+     planet scale must not rescan every allocator per decision.  Only
+     the switch a bind/depart touches is refreshed ([touch_switch]);
+     [committed] tracks the sum of residents' minimum block demands, a
+     safe lower bound used to skip certainly-full switches during
+     hierarchical placement (elastic residents can shrink, so raw free
+     blocks would over-prune). *)
+  util : float array;
+  nres : int array;
+  committed : int array;
+  cap_blocks : int;  (* per-switch capacity in blocks *)
+  mutable up_sum : float;
+  mutable up_count : int;
   tel : Telemetry.t;
   tracer : Trace.t;
 }
 
 let sw_counter i name = Printf.sprintf "fleet.sw.%d.%s" i name
 
-let update_occupancy t =
-  let ups = ref 0 and sum = ref 0.0 in
-  Array.iteri
-    (fun i node ->
-      let u = Allocator.utilization (Controller.allocator node.controller) in
-      Telemetry.set_gauge t.tel (sw_counter i "utilization") u;
-      if not t.down.(i) then begin
-        incr ups;
-        sum := !sum +. u
-      end)
-    t.nodes;
+(* Refresh one switch's cached load after its pool changed, and the
+   fleet-wide occupancy gauge from the running aggregates. *)
+let touch_switch t sw =
+  let u = Allocator.utilization (Controller.allocator t.nodes.(sw).controller) in
+  let old = t.util.(sw) in
+  t.util.(sw) <- u;
+  Telemetry.set_gauge t.tel (sw_counter sw "utilization") u;
+  if not t.down.(sw) then t.up_sum <- t.up_sum -. old +. u;
   Telemetry.set_gauge t.tel "fleet.occupancy"
-    (if !ups = 0 then 0.0 else !sum /. float_of_int !ups)
+    (if t.up_count = 0 then 0.0
+     else Float.max 0.0 t.up_sum /. float_of_int t.up_count)
 
 (* Bridge a message that surfaced at switch [from] but is destined for a
    node behind another switch: one link hop toward the target, then into
@@ -164,19 +175,25 @@ let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.defa
       admissions = Queue.create ();
       tenants;
       memsync_word_budget;
+      util = Array.make n 0.0;
+      nres = Array.make n 0;
+      committed = Array.make n 0;
+      cap_blocks =
+        Allocator.total_blocks (Controller.allocator nodes.(0).controller);
+      up_sum = 0.0;
+      up_count = n;
       tel = telemetry;
       tracer;
     }
   in
-  (* Every fabric learns to bridge the other switches' addresses. *)
+  (* Anything not attached locally bridges toward its home switch — one
+     fallback closure per fabric instead of one per (fabric, address). *)
   Array.iteri
     (fun s node ->
-      for b = 0 to n - 1 do
-        if b <> s then Fabric.attach node.fabric b (fun msg -> route t ~from:s msg)
-      done;
-      Telemetry.set_gauge t.tel (sw_counter s "up") 1.0)
+      Fabric.attach_default node.fabric (fun msg -> route t ~from:s msg);
+      Telemetry.set_gauge t.tel (sw_counter s "up") 1.0;
+      touch_switch t s)
     nodes;
-  update_occupancy t;
   t
 
 let n_switches t = Array.length t.nodes
@@ -199,27 +216,21 @@ let is_up t ~sw =
   not t.down.(sw)
 
 let loads t =
-  Array.to_list
-    (Array.mapi
-       (fun i node ->
-         let alloc = Controller.allocator node.controller in
-         {
-           Placement.switch = i;
-           utilization = Allocator.utilization alloc;
-           residents = List.length (Allocator.resident alloc);
-           up = not t.down.(i);
-         })
-       t.nodes)
+  List.init (Array.length t.nodes) (fun i ->
+      {
+        Placement.switch = i;
+        utilization = t.util.(i);
+        residents = t.nres.(i);
+        up = not t.down.(i);
+      })
 
 let attach_client t ~client ~home handler =
   if client < Array.length t.nodes then
     invalid_arg "Fleet.attach_client: client address collides with a switch id";
   Topology.home t.topo ~client home;
-  Array.iteri
-    (fun i node ->
-      if i = home then Fabric.attach node.fabric client handler
-      else Fabric.attach node.fabric client (fun msg -> route t ~from:i msg))
-    t.nodes
+  (* Only the home fabric needs the handler; every other fabric's
+     default node already bridges unknown addresses toward home. *)
+  Fabric.attach t.nodes.(home).fabric client handler
 
 let inject t ~client msg =
   match Topology.home_of t.topo ~client with
@@ -238,12 +249,64 @@ let admit_at ?trace t ~sw ~fid app =
   | Ok _provision -> true
   | Error (`Rejected _) | Error (`Bad_packet _) -> false
 
+let app_charge (app : App.t) = Array.fold_left ( + ) 0 app.App.demand_blocks
+
 let bind_placement t ~fid ~sw =
   Hashtbl.replace t.residency fid sw;
   (match Hashtbl.find_opt t.clients fid with
   | Some owner -> Fabric.register_fid t.nodes.(sw).fabric ~fid ~owner
   | None -> ());
-  update_occupancy t
+  (match Hashtbl.find_opt t.apps fid with
+  | Some app ->
+    t.committed.(sw) <- t.committed.(sw) + app_charge app;
+    t.nres.(sw) <- t.nres.(sw) + 1
+  | None -> ());
+  touch_switch t sw
+
+let unbind_placement t ~fid ~sw =
+  Hashtbl.remove t.residency fid;
+  (match Hashtbl.find_opt t.apps fid with
+  | Some app ->
+    t.committed.(sw) <- max 0 (t.committed.(sw) - app_charge app);
+    t.nres.(sw) <- max 0 (t.nres.(sw) - 1)
+  | None -> ());
+  touch_switch t sw
+
+let pods_arg t =
+  let np = Topology.n_pods t.topo in
+  if np <= 1 then None
+  else Some ((fun sw -> Topology.pod_of t.topo ~sw), np)
+
+(* Lazy hierarchical candidate stream: pods round-robin from the
+   service's start pod (client home's pod, else [fid mod pods] so
+   anonymous arrivals spread deterministically), switches first-fit
+   within each pod, skipping any switch whose committed minimum demand
+   already rules the service out.  Nothing is materialized and no
+   allocator is touched until a candidate is actually tried, which is
+   what keeps placement cost sub-linear in fleet size. *)
+let hier_seq t ~home ~fid ~demand : Topology.switch_id Seq.t =
+  let viable sw =
+    (not t.down.(sw)) && t.committed.(sw) + demand <= t.cap_blocks
+  in
+  let np = Topology.n_pods t.topo in
+  let start =
+    match home with
+    | Some h -> Topology.pod_of t.topo ~sw:h
+    | None -> fid mod np
+  in
+  Seq.concat_map
+    (fun k ->
+      let pod = (start + k) mod np in
+      Topology.pod_members t.topo ~pod |> List.to_seq |> Seq.filter viable)
+    (Seq.init np Fun.id)
+
+let candidate_seq ?loads:l t ~home ~fid ~demand : Topology.switch_id Seq.t =
+  match t.policy with
+  | Placement.Hierarchical when Topology.n_pods t.topo > 1 ->
+    hier_seq t ~home ~fid ~demand
+  | _ ->
+    let l = match l with Some l -> l | None -> loads t in
+    List.to_seq (Placement.order ?pods:(pods_arg t) t.policy ~home l)
 
 let admit t ?client ~fid app =
   if Hashtbl.mem t.residency fid then
@@ -254,9 +317,10 @@ let admit t ?client ~fid app =
       "fleet.admit"
   in
   let home = Option.bind client (fun c -> Topology.home_of t.topo ~client:c) in
-  let candidates = Placement.order t.policy ~home (loads t) in
-  let rec go tried = function
-    | [] ->
+  let candidates = candidate_seq t ~home ~fid ~demand:(app_charge app) in
+  let rec go tried seq =
+    match Seq.uncons seq with
+    | None ->
       Telemetry.incr t.tel "fleet.rejected";
       (match root with
       | Some ctx ->
@@ -266,7 +330,7 @@ let admit t ?client ~fid app =
              "fleet.rejected")
       | None -> ());
       Error `No_capacity
-    | sw :: rest ->
+    | Some (sw, rest) ->
       let trace =
         Option.map
           (fun ctx ->
@@ -423,24 +487,30 @@ let drain_admissions ?(max_batch = 64) t =
           | _ -> true)
         backlog
     in
-    (* Route each pending service to its next placement candidate. *)
-    let loads = loads t in
+    (* Route each pending service to its next placement candidate.
+       Grouping happens entirely before any switch drains, so every
+       service in the round sees the same load snapshot. *)
+    let round_loads = lazy (loads t) in
     let grouped = Hashtbl.create 8 in
     List.iter
       (fun pa ->
         let home =
           Option.bind pa.pa_client (fun c -> Topology.home_of t.topo ~client:c)
         in
-        let candidates = Placement.order t.policy ~home loads in
-        match
-          List.find_opt
-            (fun sw -> (not (List.mem sw pa.pa_tried)) && not t.down.(sw))
-            candidates
-        with
+        let next =
+          candidate_seq t ~home ~fid:pa.pa_fid ~demand:(pa_charge pa)
+            ?loads:
+              (match t.policy with
+              | Placement.Hierarchical -> None
+              | _ -> Some (Lazy.force round_loads))
+          |> Seq.filter (fun sw -> not (List.mem sw pa.pa_tried))
+          |> Seq.uncons
+        in
+        match next with
         | None ->
           settle pa (Error `No_capacity);
           progress := true
-        | Some sw ->
+        | Some (sw, _) ->
           let prev =
             match Hashtbl.find_opt grouped sw with Some l -> l | None -> []
           in
@@ -479,9 +549,13 @@ let drain_admissions ?(max_batch = 64) t =
               settle pa (Ok sw);
               progress := true
             | Error _ ->
-              (* Spill over to the next candidate on a later round. *)
+              (* Spill over to the next candidate on a later round.  A
+                 spill is progress: pa_tried grows by a switch that was
+                 untried this round, so the loop still terminates once
+                 every candidate has been exhausted. *)
               pa.pa_tried <- sw :: pa.pa_tried;
-              Queue.add pa t.admissions)
+              Queue.add pa t.admissions;
+              progress := true)
           pas results)
       switches
   done;
@@ -494,9 +568,9 @@ let depart t ~fid =
     if not t.down.(sw) then
       ignore (Controller.handle_departure t.nodes.(sw).controller ~fid);
     shim_step t ~fid Shim.Released;
+    unbind_placement t ~fid ~sw;
     forget t ~fid;
     Telemetry.incr t.tel "fleet.departed";
-    update_occupancy t;
     true
 
 (* Run a memsync driver to completion directly against a switch's
@@ -687,7 +761,7 @@ let migrate t ~fid ~dst =
       (* The program no longer lives on [src]; drop its compiled closures
          there (the departure's epoch bump already made them stale). *)
       Jit.invalidate (Fabric.jit t.nodes.(src).fabric) ~fid;
-      Hashtbl.remove t.residency fid;
+      unbind_placement t ~fid ~sw:src;
       let outcome oc attrs =
         match root with
         | Some ctx -> ignore (Trace.instant t.tracer ctx ~attrs oc)
@@ -719,7 +793,6 @@ let migrate t ~fid ~dst =
       else begin
         forget t ~fid;
         Telemetry.incr t.tel "fleet.lost";
-        update_occupancy t;
         outcome "fleet.lost" [];
         Error `Lost
       end
@@ -745,6 +818,11 @@ let fail_switch t ~sw =
   if t.down.(sw) then { relocated = []; lost = [] }
   else begin
     t.down.(sw) <- true;
+    t.up_count <- t.up_count - 1;
+    t.up_sum <- t.up_sum -. t.util.(sw);
+    (* Routing repairs around the dead switch: all its links go down and
+       only the affected destinations of already-built tables recompute. *)
+    ignore (Topology.isolate t.topo ~sw);
     Telemetry.set_gauge t.tel (sw_counter sw "up") 0.0;
     Telemetry.incr t.tel "fleet.failures";
     let evacuees = residents_of t ~sw in
@@ -770,7 +848,7 @@ let fail_switch t ~sw =
     List.iter
       (fun fid ->
         ignore (Controller.handle_departure t.nodes.(sw).controller ~fid);
-        Hashtbl.remove t.residency fid)
+        unbind_placement t ~fid ~sw)
       evacuees;
     let relocated = ref [] and lost = ref [] in
     List.iter
@@ -788,16 +866,18 @@ let fail_switch t ~sw =
           Option.bind (Hashtbl.find_opt t.clients fid) (fun c ->
               Topology.home_of t.topo ~client:c)
         in
-        let candidates = Placement.order t.policy ~home (loads t) in
-        let rec go = function
-          | [] ->
+        let app_demand = app_charge app in
+        let candidates = candidate_seq t ~home ~fid ~demand:app_demand in
+        let rec go seq =
+          match Seq.uncons seq with
+          | None ->
             forget t ~fid;
             Telemetry.incr t.tel "fleet.lost";
             (match trace with
             | Some ctx -> ignore (Trace.instant t.tracer ctx "fleet.lost")
             | None -> ());
             lost := fid :: !lost
-          | dst :: rest ->
+          | Some (dst, rest) ->
             if admit_at ?trace t ~sw:dst ~fid app then begin
               inject_state t t.nodes.(dst) ~fid state;
               bind_placement t ~fid ~sw:dst;
@@ -819,7 +899,6 @@ let fail_switch t ~sw =
         in
         go candidates)
       states;
-    update_occupancy t;
     { relocated = List.rev !relocated; lost = List.rev !lost }
   end
 

@@ -7,14 +7,20 @@ open Import
     allocator, plus a {!Netsim.Fabric} instance addressed by its switch
     id; all fabrics share one discrete-event engine, and traffic whose
     destination lives behind another switch is bridged hop-by-hop along
-    shortest paths (each inter-switch hop adds the link latency, and
-    every transit switch runs its own pipeline over the packet — a
-    service's programs only execute where its FID's tables are
-    installed).
+    shortest paths — maintained by the topology's incremental ECMP
+    router, so link flaps and switch failures repair routes in place
+    (each inter-switch hop adds the link latency, and every transit
+    switch runs its own pipeline over the packet — a service's programs
+    only execute where its FID's tables are installed).
 
     Admission is global: the fleet snapshots every switch's pool,
     ranks switches with the configured {!Placement.policy}, and tries
-    them in order until one's allocator admits (spill-over).  Services
+    them in order until one's allocator admits (spill-over).  Under
+    {!Placement.Hierarchical} on a podded topology (fat-tree or
+    leaf-spine) the candidate stream is lazy and pod-local — the home
+    pod's switches first-fit, spilling to remote pods round-robin —
+    so per-arrival placement cost stays sub-linear in fleet size.
+    Services
     can later be migrated between switches — their switch memory is
     drained with the memsync read protocol, the source allocation
     released, and the state repopulated into the new placement — and a
@@ -123,9 +129,13 @@ val admit :
   App.t ->
   (Topology.switch_id, [ `No_capacity ]) result
 (** Place a service: rank the up switches under the fleet policy
-    ([client]'s home anchors [Locality]) and admit at the first switch
-    whose allocator accepts.  On success the service's tables are
-    installed there and its shim is operational.
+    ([client]'s home anchors [Locality]; under [Hierarchical] the home's
+    pod leads, and an unhomed service starts from pod [fid mod n_pods]
+    so anonymous arrivals spread deterministically) and admit at the
+    first switch whose allocator accepts.  On success the service's
+    tables are installed there and its shim is operational.  Note that
+    [client] must already be homed ({!attach_client} or
+    {!Topology.home}) for locality to apply — [admit] does not home it.
     @raise Invalid_argument if the FID is already placed. *)
 
 val depart : t -> fid:int -> bool

@@ -1,17 +1,19 @@
-type policy = First_fit_switch | Least_loaded | Locality
+type policy = First_fit_switch | Least_loaded | Locality | Hierarchical
 
 let policy_to_string = function
   | First_fit_switch -> "first-fit"
   | Least_loaded -> "least-loaded"
   | Locality -> "locality"
+  | Hierarchical -> "hierarchical"
 
 let policy_of_string = function
   | "first-fit" | "first_fit" -> Ok First_fit_switch
   | "least-loaded" | "least_loaded" -> Ok Least_loaded
   | "locality" -> Ok Locality
+  | "hierarchical" -> Ok Hierarchical
   | s -> Error (Printf.sprintf "unknown placement policy %S" s)
 
-let all_policies = [ First_fit_switch; Least_loaded; Locality ]
+let all_policies = [ First_fit_switch; Least_loaded; Locality; Hierarchical ]
 
 type load = {
   switch : Topology.switch_id;
@@ -22,7 +24,34 @@ type load = {
 
 let least_loaded_key l = (l.utilization, l.residents, l.switch)
 
-let order policy ~home loads =
+(* Pod rank for [Hierarchical]: home pod first, then pods by ascending
+   mean utilization (of their up switches), tie-broken by pod id.  Mean
+   utilization is order-independent, so the ranking stays a pure
+   function of the load multiset. *)
+let hierarchical ~pod_of ~n_pods ~home up =
+  let home_pod = Option.map pod_of home in
+  let sum = Array.make n_pods 0.0 and cnt = Array.make n_pods 0 in
+  List.iter
+    (fun l ->
+      let p = pod_of l.switch in
+      if p >= 0 && p < n_pods then begin
+        sum.(p) <- sum.(p) +. l.utilization;
+        cnt.(p) <- cnt.(p) + 1
+      end)
+    up;
+  let pod_key p =
+    let mean = if cnt.(p) = 0 then infinity else sum.(p) /. float_of_int cnt.(p) in
+    let is_home = match home_pod with Some h -> h = p | None -> false in
+    ((if is_home then 0 else 1), mean, p)
+  in
+  List.sort
+    (fun a b ->
+      let pa = pod_of a.switch and pb = pod_of b.switch in
+      if pa = pb then compare a.switch b.switch
+      else compare (pod_key pa) (pod_key pb))
+    up
+
+let order ?pods policy ~home loads =
   let up = List.filter (fun l -> l.up) loads in
   let ranked =
     match policy with
@@ -34,5 +63,11 @@ let order policy ~home loads =
       let home_first, rest = List.partition is_home up in
       home_first
       @ List.sort (fun a b -> compare (least_loaded_key a) (least_loaded_key b)) rest
+    | Hierarchical -> (
+      match pods with
+      | Some (pod_of, n_pods) when n_pods > 1 -> hierarchical ~pod_of ~n_pods ~home up
+      | Some _ | None ->
+        (* Flat fleet (or no pod metadata): degrade to first-fit. *)
+        List.sort (fun a b -> compare a.switch b.switch) up)
   in
   List.map (fun l -> l.switch) ranked

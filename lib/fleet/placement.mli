@@ -11,6 +11,13 @@ type policy =
   | Locality
       (** the client's home switch first (when up), then least-loaded —
           keeps service traffic off inter-switch links when possible *)
+  | Hierarchical
+      (** pod-local first: the home pod's switches first-fit, then
+          remaining pods by ascending mean utilization (spill), each pod
+          first-fit by switch id.  Needs the [?pods] argument of
+          {!order}; degrades to [First_fit_switch] on flat fleets.  The
+          fleet feeds this a lazily generated pod-at-a-time candidate
+          stream so placement cost stays sub-linear in fleet size. *)
 
 val policy_to_string : policy -> string
 val policy_of_string : string -> (policy, string) result
@@ -23,7 +30,13 @@ type load = {
   up : bool;
 }
 
-val order : policy -> home:Topology.switch_id option -> load list -> Topology.switch_id list
+val order :
+  ?pods:(Topology.switch_id -> int) * int ->
+  policy ->
+  home:Topology.switch_id option ->
+  load list ->
+  Topology.switch_id list
 (** Switches to try, best first.  Down switches are excluded.  The result
     depends only on the load values, never on the input ordering: ties
-    break by ascending switch id. *)
+    break by ascending switch id.  [pods] = [(pod_of, n_pods)] supplies
+    pod membership for [Hierarchical]; other policies ignore it. *)

@@ -26,6 +26,7 @@ type t = {
   loss_rng : Stdx.Prng.t;
   faults : Faults.t option;
   nodes : (address, msg -> unit) Hashtbl.t;
+  mutable default_node : (msg -> unit) option;
   owners : (Activermt.Packet.fid, address) Hashtbl.t;
   jit : Activermt.Jit.t;
   mutable drops : int;
@@ -56,6 +57,7 @@ let create ?(address = switch_address) ?(wire_latency_s = 5.0e-6)
     loss_rng = Stdx.Prng.create ~seed:loss_seed;
     faults;
     nodes = Hashtbl.create 16;
+    default_node = None;
     owners = Hashtbl.create 16;
     jit =
       Activermt.Jit.create ~enabled:jit ~telemetry
@@ -76,6 +78,8 @@ let jit t = t.jit
 let attach t addr handler =
   if addr = t.address then invalid_arg "Fabric.attach: switch address reserved";
   Hashtbl.replace t.nodes addr handler
+
+let attach_default t handler = t.default_node <- Some handler
 
 let register_fid t ~fid ~owner = Hashtbl.replace t.owners fid owner
 
@@ -205,7 +209,12 @@ let deliver t m ~delay =
           Telemetry.incr t.tel "sim.packets.delivered";
           Telemetry.incr t.tel (Printf.sprintf "sim.node.%d.rx" m.dst);
           handler m
-        | None -> ())
+        | None -> (
+          match t.default_node with
+          | Some handler ->
+            Telemetry.incr t.tel "sim.packets.delivered";
+            handler m
+          | None -> ()))
 
 let notify_impacted ?trace t fids =
   List.iter

@@ -122,6 +122,13 @@ val attach : t -> address -> (msg -> unit) -> unit
 (** Register a node's receive handler.  This fabric's own switch address
     is reserved. *)
 
+val attach_default : t -> (msg -> unit) -> unit
+(** Register the fallback handler for destinations with no attached
+    node.  A fleet uses this for its bridge: any address not local to
+    this switch's fabric is routed toward its home switch, so creating a
+    1024-switch fleet costs one closure per fabric instead of one per
+    (fabric, remote address) pair. *)
+
 val register_fid : t -> fid:Activermt.Packet.fid -> owner:address -> unit
 
 val send : t -> msg -> unit

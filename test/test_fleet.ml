@@ -90,6 +90,60 @@ let test_order_policies () =
   Alcotest.(check (list int)) "locality with down home degrades" [ 1; 0 ]
     (Placement.order Placement.Locality ~home:(Some 2) loads)
 
+let test_hierarchical_policy () =
+  (match Placement.policy_of_string "hierarchical" with
+  | Ok Placement.Hierarchical -> ()
+  | _ -> Alcotest.fail "policy_of_string does not accept \"hierarchical\"");
+  Alcotest.(check string) "string round-trip" "hierarchical"
+    (Placement.policy_to_string Placement.Hierarchical);
+  Alcotest.(check bool) "listed in all_policies" true
+    (List.mem Placement.Hierarchical Placement.all_policies);
+  (* Pod-aware ordering: home pod's switches lead, then other pods by
+     mean utilization; first-fit (ascending id) within each pod. *)
+  let load switch utilization residents up =
+    { Placement.switch; utilization; residents; up }
+  in
+  let loads =
+    [
+      load 0 0.9 9 true; load 1 0.8 8 true;  (* pod 0: busy *)
+      load 2 0.1 1 true; load 3 0.2 2 true;  (* pod 1: idle *)
+    ]
+  in
+  let pods = ((fun sw -> sw / 2), 2) in
+  Alcotest.(check (list int)) "home pod first, then idler pod" [ 0; 1; 2; 3 ]
+    (Placement.order ~pods Placement.Hierarchical ~home:(Some 1) loads);
+  Alcotest.(check (list int)) "no home: pods ranked by mean load" [ 2; 3; 0; 1 ]
+    (Placement.order ~pods Placement.Hierarchical ~home:None loads);
+  Alcotest.(check (list int)) "flat fleet degrades to first-fit" [ 0; 1; 2; 3 ]
+    (Placement.order Placement.Hierarchical ~home:None loads)
+
+let prop_hierarchical_skips_down =
+  QCheck.Test.make ~count:200
+    ~name:"hierarchical never ranks a down switch, never drops an up one"
+    QCheck.(triple (int_range 2 16) (int_range 2 5) small_int)
+    (fun (n, pod_size, seed) ->
+      let prng = Stdx.Prng.create ~seed in
+      let loads =
+        List.init n (fun i ->
+            {
+              Placement.switch = i;
+              utilization = Stdx.Prng.float prng 1.0;
+              residents = Stdx.Prng.int prng 20;
+              up = Stdx.Prng.int prng 3 > 0;
+            })
+      in
+      let n_pods = ((n - 1) / pod_size) + 1 in
+      let pods = ((fun sw -> sw / pod_size), n_pods) in
+      let home = if Stdx.Prng.int prng 2 = 0 then None else Some (Stdx.Prng.int prng n) in
+      let ranked = Placement.order ~pods Placement.Hierarchical ~home loads in
+      let up_ids =
+        List.filter_map (fun l -> if l.Placement.up then Some l.Placement.switch else None) loads
+      in
+      (* The ranking is exactly a permutation of the up switches: no down
+         switch placed on, no live switch silently dropped. *)
+      List.sort_uniq compare ranked = List.sort compare up_ids
+      && List.length ranked = List.length up_ids)
+
 (* ---------- fleet admission ---------- *)
 
 let mixed_kinds ~n ~seed =
@@ -216,6 +270,65 @@ let test_fleet_beats_single_switch () =
   Alcotest.(check bool)
     (Printf.sprintf "4 switches (%d) admit more than 1 (%d)" four one)
     true (four > one)
+
+(* Hierarchical placement on a fat-tree: services land in the client's
+   home pod while it has room, and never on a failed switch — even when
+   the stream is pushed through the batched admission queue. *)
+let test_hierarchical_fleet_placement () =
+  let tel = Telemetry.create () in
+  let topo = Topology.fat_tree ~pods:3 ~k:4 () in
+  let fleet =
+    Fleet.create ~policy:Placement.Hierarchical ~params:small_params
+      ~telemetry:tel topo
+  in
+  (* A client homed on switch 5 (pod 1) pulls its service into pod 1.
+     fid 8's no-home fallback pod would be 8 mod 4 = 0, so a pod-1
+     placement can only come from the client's home. *)
+  Fleet.attach_client fleet ~client:900 ~home:5 (fun _ -> ());
+  (match Fleet.admit fleet ~client:900 ~fid:8 counter with
+  | Ok sw ->
+    Alcotest.(check int) "home-pod placement" 1 (Topology.pod_of topo ~sw)
+  | Error `No_capacity -> Alcotest.fail "first admission refused");
+  ignore (Fleet.fail_switch fleet ~sw:0);
+  for fid = 10 to 48 do
+    Fleet.enqueue_admission fleet ~fid (if fid mod 3 = 0 then hh else counter)
+  done;
+  ignore (Fleet.drain_admissions fleet);
+  List.iter
+    (fun (fid, sw) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fid %d avoids the failed switch" fid)
+        true (sw <> 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "fid %d sits on a live switch" fid)
+        true
+        (Fleet.is_up fleet ~sw))
+    (Fleet.residents fleet)
+
+let test_hierarchical_spills_across_pods () =
+  let tel = Telemetry.create () in
+  let topo = Topology.fat_tree ~pods:2 ~k:4 () in
+  let fleet =
+    Fleet.create ~policy:Placement.Hierarchical ~params:small_params
+      ~telemetry:tel topo
+  in
+  (* Heavy hitters overflow pod 0's four switches; the spill must reach
+     pod 1 rather than reject, and nothing may double-place. *)
+  let admitted = ref [] in
+  for fid = 1 to 24 do
+    match Fleet.admit fleet ~fid hh with
+    | Ok sw -> admitted := (fid, sw) :: !admitted
+    | Error `No_capacity -> ()
+  done;
+  let pods_used =
+    List.sort_uniq compare
+      (List.map (fun (_, sw) -> Topology.pod_of topo ~sw) !admitted)
+  in
+  Alcotest.(check bool) "spill crossed into a second pod" true
+    (List.length pods_used > 1);
+  Alcotest.(check int) "every admitted fid resident exactly once"
+    (List.length !admitted)
+    (List.length (Fleet.residents fleet))
 
 (* ---------- migration ---------- *)
 
@@ -392,7 +505,10 @@ let () =
       ( "placement",
         [
           QCheck_alcotest.to_alcotest prop_order_permutation_invariant;
+          QCheck_alcotest.to_alcotest prop_hierarchical_skips_down;
           Alcotest.test_case "policy orderings" `Quick test_order_policies;
+          Alcotest.test_case "hierarchical policy" `Quick
+            test_hierarchical_policy;
         ] );
       ( "admission",
         [
@@ -403,6 +519,10 @@ let () =
             test_global_admission_queue;
           Alcotest.test_case "4 switches beat 1" `Quick
             test_fleet_beats_single_switch;
+          Alcotest.test_case "hierarchical fat-tree placement" `Quick
+            test_hierarchical_fleet_placement;
+          Alcotest.test_case "hierarchical pod spill" `Quick
+            test_hierarchical_spills_across_pods;
         ] );
       ( "migration",
         [

@@ -1,0 +1,221 @@
+(* Incremental ECMP router and the datacenter topology constructors:
+   fat-tree / leaf-spine shape (node/link counts, pod membership, ECMP
+   multiplicity, capacity metadata), and a qcheck property that random
+   link-flap sequences leave the incrementally repaired route tables
+   equal to a from-scratch recompute (the Floyd-Warshall oracle). *)
+
+module Topology = Activermt_fleet.Topology
+
+let approx a b =
+  a = b
+  || Float.is_finite a && Float.is_finite b
+     && Float.abs (a -. b)
+        <= 1e-12 +. (1e-9 *. Float.max (Float.abs a) (Float.abs b))
+
+(* ---------- constructor shape ---------- *)
+
+let test_fat_tree_shape () =
+  let t = Topology.fat_tree ~k:4 () in
+  Alcotest.(check int) "k=4: 20 switches" 20 (Topology.switches t);
+  (* 4 pods x (4 edge-agg + 4 agg-core) links. *)
+  Alcotest.(check int) "k=4: 32 links" 32 (Topology.n_links t);
+  Alcotest.(check int) "4 server pods + core pod" 5 (Topology.n_pods t);
+  Alcotest.(check (list int)) "pod 0 members" [ 0; 1; 2; 3 ]
+    (Topology.pod_members t ~pod:0);
+  Alcotest.(check (list int)) "core pod members" [ 16; 17; 18; 19 ]
+    (Topology.pod_members t ~pod:4);
+  Alcotest.(check int) "edge 7 sits in pod 1" 1 (Topology.pod_of t ~sw:7);
+  (* Intra-pod: edge -> edge through either aggregation switch. *)
+  Alcotest.(check (list int)) "intra-pod ECMP set is the k/2 aggs" [ 2; 3 ]
+    (Topology.next_hops t ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-12)) "intra-pod latency is 2 hops" 1e-5
+    (Topology.latency t ~src:0 ~dst:1);
+  (* Inter-pod: edge -> edge of another pod is 4 hops, first-hop fanout
+     k/2 (the (k/2)^2 path multiplicity shows up one tier later). *)
+  Alcotest.(check (list int)) "inter-pod ECMP set" [ 2; 3 ]
+    (Topology.next_hops t ~src:0 ~dst:4);
+  Alcotest.(check (float 1e-12)) "inter-pod latency is 4 hops" 2e-5
+    (Topology.latency t ~src:0 ~dst:4);
+  (* Aggregation m uplinks to cores m*(k/2) .. — distinct core groups. *)
+  Alcotest.(check (option (float 0.0))) "edge-agg capacity" (Some 10e9)
+    (Topology.link_capacity t ~a:0 ~b:2);
+  Alcotest.(check (option (float 0.0))) "agg-core capacity" (Some 40e9)
+    (Topology.link_capacity t ~a:2 ~b:16);
+  Alcotest.(check (option (float 0.0))) "no edge-edge link" None
+    (Topology.link_capacity t ~a:0 ~b:1)
+
+let test_fat_tree_partial_pods () =
+  (* pods*k + (k/2)^2: the partial fabrics used by the scale scenario
+     close on exact switch counts. *)
+  let t = Topology.fat_tree ~pods:6 ~k:8 () in
+  Alcotest.(check int) "k=8 x 6 pods = 64 switches" 64 (Topology.switches t);
+  Alcotest.(check int) "6 server pods + core" 7 (Topology.n_pods t);
+  Alcotest.(check int) "cores in the final pod" 6
+    (Topology.pod_of t ~sw:(Topology.switches t - 1));
+  Alcotest.check_raises "odd k rejected"
+    (Invalid_argument "Topology.fat_tree: k must be even and >= 2") (fun () ->
+      ignore (Topology.fat_tree ~k:3 ()));
+  Alcotest.check_raises "pods > k rejected"
+    (Invalid_argument "Topology.fat_tree: pods must be in [1, k]") (fun () ->
+      ignore (Topology.fat_tree ~pods:5 ~k:4 ()))
+
+let test_leaf_spine_shape () =
+  let t = Topology.leaf_spine ~pod_size:2 ~leaves:4 ~spines:3 () in
+  Alcotest.(check int) "4 + 3 switches" 7 (Topology.switches t);
+  Alcotest.(check int) "full bipartite links" 12 (Topology.n_links t);
+  Alcotest.(check int) "2 leaf pods + spine pod" 3 (Topology.n_pods t);
+  Alcotest.(check (list int)) "leaf pod 1" [ 2; 3 ] (Topology.pod_members t ~pod:1);
+  Alcotest.(check (list int)) "spine pod" [ 4; 5; 6 ] (Topology.pod_members t ~pod:2);
+  (* Leaf-to-leaf fans out across every spine. *)
+  Alcotest.(check (list int)) "leaf-leaf ECMP set is all spines" [ 4; 5; 6 ]
+    (Topology.next_hops t ~src:0 ~dst:3);
+  Alcotest.(check (float 1e-12)) "leaf-leaf is 2 hops" 1e-5
+    (Topology.latency t ~src:0 ~dst:3);
+  Alcotest.(check (option (float 0.0))) "uniform capacity" (Some 40e9)
+    (Topology.link_capacity t ~a:0 ~b:4)
+
+(* ---------- incremental repair vs the Floyd-Warshall oracle ----------
+
+   The test mirrors each constructor's link list so it can compute the
+   expected equal-cost first-hop sets straight from the oracle's
+   distance matrix: h is a hop of (s, d) iff the s-h link is up and
+   fw(s,d) = lat + fw(h,d). *)
+
+let fat_tree_links ~k ~pods =
+  let half = k / 2 in
+  let edge i j = (i * k) + j
+  and agg i m = (i * k) + half + m
+  and core m c = (pods * k) + (m * half) + c in
+  let links = ref [] in
+  for i = 0 to pods - 1 do
+    for j = 0 to half - 1 do
+      for m = 0 to half - 1 do
+        links := (edge i j, agg i m, 5e-6) :: !links
+      done
+    done;
+    for m = 0 to half - 1 do
+      for c = 0 to half - 1 do
+        links := (agg i m, core m c, 5e-6) :: !links
+      done
+    done
+  done;
+  Array.of_list !links
+
+let topo_cases =
+  [|
+    (fun () ->
+      let n = 5 in
+      ( Topology.full_mesh ~switches:n ~latency_s:1e-5,
+        Array.of_list
+          (List.concat
+             (List.init n (fun i ->
+                  List.init (n - i - 1) (fun j -> (i, i + j + 1, 1e-5))))) ));
+    (fun () ->
+      ( Topology.line ~switches:6 ~latency_s:2e-5,
+        Array.init 5 (fun i -> (i, i + 1, 2e-5)) ));
+    (fun () -> (Topology.fat_tree ~pods:3 ~k:4 (), fat_tree_links ~k:4 ~pods:3));
+    (fun () ->
+      ( Topology.leaf_spine ~leaves:3 ~spines:2 (),
+        Array.of_list
+          (List.concat
+             (List.init 3 (fun l -> List.init 2 (fun s -> (l, 3 + s, 5e-6))))) ));
+  |]
+
+(* [links] carries ((a, b, latency), live) for every physical link. *)
+let check_equiv topo links =
+  let n = Topology.switches topo in
+  let fw = Topology.all_pairs_reference topo in
+  let expected_hops s d =
+    Array.to_list links
+    |> List.filter_map (fun ((a, b, lat), live) ->
+           if not live then None
+           else if a = s && approx fw.(s).(d) (lat +. fw.(b).(d)) then Some b
+           else if b = s && approx fw.(s).(d) (lat +. fw.(a).(d)) then Some a
+           else None)
+    |> List.sort_uniq compare
+  in
+  let ok = ref true in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then begin
+        let reach = Topology.connected topo ~src:s ~dst:d in
+        if reach <> Float.is_finite fw.(s).(d) then ok := false;
+        let hops = Topology.next_hops topo ~src:s ~dst:d in
+        if reach then begin
+          if not (approx (Topology.latency topo ~src:s ~dst:d) fw.(s).(d)) then
+            ok := false;
+          if hops <> expected_hops s d then ok := false
+        end
+        else if hops <> [] then ok := false
+      end
+    done
+  done;
+  !ok
+
+let prop_flap_equiv =
+  QCheck.Test.make ~count:60
+    ~name:"random link-flap sequences match a from-scratch recompute"
+    QCheck.(
+      pair (int_range 0 (Array.length topo_cases - 1))
+        (small_list (pair small_nat small_nat)))
+    (fun (tsel, script) ->
+      let topo, link_ends = topo_cases.(tsel) () in
+      let links = Array.map (fun l -> (l, ref true)) link_ends in
+      Topology.build_all_routes topo;
+      let nl = Array.length links in
+      List.for_all
+        (fun (i, j) ->
+          let (a, b, _), live = links.(i mod nl) in
+          let target = j mod 2 = 1 in
+          let changed = Topology.set_link topo ~a ~b ~up:target in
+          let expect_change = !live <> target in
+          live := target;
+          (* set_link reports false exactly on no-ops, and after every
+             transition the repaired tables must equal the oracle's. *)
+          changed = expect_change
+          && check_equiv topo (Array.map (fun (l, r) -> (l, !r)) links))
+        script)
+
+let prop_isolate_restore_equiv =
+  QCheck.Test.make ~count:40
+    ~name:"isolate/restore sequences match a from-scratch recompute"
+    QCheck.(
+      pair (int_range 0 (Array.length topo_cases - 1)) (small_list small_nat))
+    (fun (tsel, script) ->
+      let topo, link_ends = topo_cases.(tsel) () in
+      let n = Topology.switches topo in
+      let down = Array.make n false in
+      let live = Array.map (fun l -> (l, ref true)) link_ends in
+      Topology.build_all_routes topo;
+      List.for_all
+        (fun i ->
+          let sw = i mod n in
+          (* restore revives EVERY incident link, even toward a switch
+             that was isolated later — mirror the documented semantics,
+             not a per-switch liveness model. *)
+          let up = down.(sw) in
+          (if up then ignore (Topology.restore topo ~sw)
+           else ignore (Topology.isolate topo ~sw));
+          down.(sw) <- not down.(sw);
+          Array.iter
+            (fun ((a, b, _), r) -> if a = sw || b = sw then r := up)
+            live;
+          check_equiv topo (Array.map (fun (l, r) -> (l, !r)) live))
+        script)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "constructors",
+        [
+          Alcotest.test_case "fat-tree shape" `Quick test_fat_tree_shape;
+          Alcotest.test_case "fat-tree partial pods" `Quick
+            test_fat_tree_partial_pods;
+          Alcotest.test_case "leaf-spine shape" `Quick test_leaf_spine_shape;
+        ] );
+      ( "incremental routing",
+        [
+          QCheck_alcotest.to_alcotest prop_flap_equiv;
+          QCheck_alcotest.to_alcotest prop_isolate_restore_equiv;
+        ] );
+    ]
