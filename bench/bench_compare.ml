@@ -376,6 +376,61 @@ let compare_fleetscale ~max_drop ~max_growth ~failures base_json cur_json =
           ceil
       | _ -> ())
 
+(* The health section (recording overhead).  Wall times move with the
+   runner, but overhead_frac is a ratio of two measurements on the same
+   box, so it gates absolutely against the ceiling the section itself
+   declares — like the fleetscale flap_frac gate.  The decision audit
+   and the no-page check are deterministic and gate absolutely too. *)
+let health_row json =
+  match Json.member "health" json with
+  | None -> None
+  | Some section ->
+    let num key =
+      match Json.(member key section |> Option.map to_num) with
+      | Some (Some v) -> Some v
+      | _ -> None
+    in
+    Some
+      ( num "overhead_frac",
+        num "max_overhead",
+        num "decisions_identical",
+        num "pages" )
+
+let compare_health ~failures base_json cur_json =
+  match health_row cur_json with
+  | None -> ()
+  | Some (c_frac, c_max, c_ident, c_pages) ->
+    let gate name ok fmt =
+      Printf.ksprintf
+        (fun detail ->
+          if not ok then incr failures;
+          Printf.printf "%-7s  health      %-16s %s\n"
+            (if ok then "OK" else "REGRESS")
+            name detail)
+        fmt
+    in
+    let missing name =
+      incr failures;
+      Printf.printf "MISSING  health      %-16s absent from candidate section\n"
+        name
+    in
+    (match c_frac with
+    | None -> missing "overhead_frac"
+    | Some f ->
+      let ceil = Option.value ~default:0.05 c_max in
+      gate "overhead_frac" (f <= ceil) "%.2f%% (ceil %.0f%%)" (100.0 *. f)
+        (100.0 *. ceil));
+    (match c_ident with
+    | None -> missing "decisions"
+    | Some d ->
+      gate "decisions" (d = 1.0) "%s"
+        (if d = 1.0 then "identical with recording on" else "DIVERGED"));
+    (match c_pages with
+    | None -> missing "pages"
+    | Some p -> gate "pages" (p = 0.0) "%.0f on the healthy workload" p);
+    if health_row base_json = None then
+      Printf.printf "INFO     health      new section (no baseline)\n"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse paths drop growth = function
@@ -418,6 +473,7 @@ let () =
   compare_churn ~max_drop ~max_growth ~failures base_json cur_json;
   compare_tenants ~max_growth ~failures base_json cur_json;
   compare_fleetscale ~max_drop ~max_growth ~failures base_json cur_json;
+  compare_health ~failures base_json cur_json;
   (* Candidate-only entries: new configurations the baseline doesn't
      know yet.  Report, don't gate. *)
   List.iter

@@ -165,6 +165,11 @@ let experiments =
         "planet-scale fleet: fat-tree admission, link-flap repair, pod failure (BENCH_alloc.json)";
       run = (fun ~quick -> Fleetscale_bench.run ~quick);
     };
+    {
+      name = "health";
+      info = "health-plane overhead: series recording on vs off (BENCH_alloc.json)";
+      run = (fun ~quick -> Health_bench.run ~quick);
+    };
     { name = "micro"; info = "Bechamel microbenchmarks"; run = (fun ~quick:_ -> Micro.run ()) };
   ]
 

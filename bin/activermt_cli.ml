@@ -13,6 +13,10 @@
               --pod-fail, --summary-out)
      routecheck incremental-router equivalence vs the Floyd-Warshall oracle
      faultsim run the protocol stack under a seeded fault profile
+     healthcheck run the health-plane scenario, evaluate SLOs/watchdogs,
+              exit non-zero on a page (--report-out, --inject-flap-storm)
+     fleettop render a per-switch/per-tenant dashboard from a --series-out
+              dump or a healthcheck report
      tracequery filter and render a Chrome trace dump as causal trees
      apps     print the bundled example services *)
 
@@ -21,6 +25,7 @@ module Mutant = Activermt_compiler.Mutant
 module Allocator = Activermt_alloc.Allocator
 module App = Activermt_apps.App
 module Telemetry = Activermt_telemetry.Telemetry
+module Timeseries = Activermt_telemetry.Timeseries
 module Trace = Activermt_telemetry.Trace
 module Json = Activermt_telemetry.Json
 
@@ -31,6 +36,25 @@ let write_metrics = function
   | Some path ->
     Telemetry.write_json Telemetry.default ~path;
     Printf.printf "wrote telemetry to %s\n" path
+
+(* Shared by the five sim subcommands: --series-out enables a windowed
+   time-series registry (virtual-clock buckets; see Timeseries) and
+   dumps it as JSON when the command finishes.  Without the flag the
+   registry is [Timeseries.noop] and the run is bit-identical to a
+   recording-free build.  Each sim wires the clock that makes sense for
+   it: churnsim/tenantsim/faultsim record on their modeled or simulated
+   clocks; allocsim and fleetsim tick one bucket per admission epoch. *)
+let make_series ?bucket_s ?capacity ?now = function
+  | None -> Timeseries.noop
+  | Some _ -> Timeseries.create ?bucket_s ?capacity ?now ()
+
+let write_series series = function
+  | None -> ()
+  | Some path ->
+    Timeseries.write_json series ~path;
+    Printf.printf "wrote %d series to %s\n"
+      (List.length (Timeseries.names series))
+      path
 
 (* Every simulation dump carries the jit.* stats lines — even commands
    (or runs) that never execute a capsule — so metric files from runs
@@ -142,7 +166,7 @@ and cmd_mutants path policy =
   if List.length mutants > 50 then print_endline "  ..."
 
 and cmd_allocsim spec_str mixed seed batch scheme policy domains no_jit
-    metrics_out trace_out trace_sample =
+    metrics_out series_out trace_out trace_sample =
   (* allocsim exercises only the control plane; the flag is accepted for
      symmetry with the other sim commands and recorded in the metrics. *)
   seed_jit_metrics ~enabled:(not no_jit);
@@ -151,7 +175,12 @@ and cmd_allocsim spec_str mixed seed batch scheme policy domains no_jit
     exit 1
   end;
   let tracer = make_tracer trace_out trace_sample in
-  let alloc = Allocator.create ~scheme ~policy ~domains ~tracer params in
+  (* The series clock ticks one bucket per admission epoch (per arrival
+     on the sequential path), so the dump shows admission outcomes over
+     epochs rather than one flat bucket. *)
+  let vclock = ref 0.0 in
+  let series = make_series ~now:(fun () -> !vclock) series_out in
+  let alloc = Allocator.create ~scheme ~policy ~domains ~series ~tracer params in
   let next_fid = ref 0 in
   let service_of = function
     | "cache" -> Some Activermt_apps.Cache.service
@@ -233,7 +262,8 @@ and cmd_allocsim spec_str mixed seed batch scheme policy domains no_jit
             ~attrs:[ ("fid", string_of_int a.Allocator.fid); ("app", name) ]
             "allocsim.arrival"
         in
-        report name a.Allocator.fid (Allocator.admit ?trace alloc a))
+        report name a.Allocator.fid (Allocator.admit ?trace alloc a);
+        vclock := !vclock +. 1.0)
       arrivals
   else begin
     (* Chunk the arrival stream into epochs of [batch] and admit each
@@ -273,7 +303,8 @@ and cmd_allocsim spec_str mixed seed batch scheme policy domains no_jit
         memo_hits := !memo_hits + s.Allocator.memo_hits;
         rescored := !rescored + s.Allocator.rescored;
         stage_refills := !stage_refills + s.Allocator.stage_refills;
-        refills_saved := !refills_saved + s.Allocator.refills_saved)
+        refills_saved := !refills_saved + s.Allocator.refills_saved;
+        vclock := !vclock +. 1.0)
       (chunks arrivals);
     Printf.printf
       "batch stats: %d epochs of <= %d, %d memo hits, %d rescored, %d stage \
@@ -282,18 +313,21 @@ and cmd_allocsim spec_str mixed seed batch scheme policy domains no_jit
   end;
   Printf.printf "final utilization: %.3f\n" (Allocator.utilization alloc);
   write_metrics metrics_out;
+  write_series series series_out;
   write_trace tracer trace_out
 
-and cmd_churnsim clients batch resident seed summary_out metrics_out trace_out
-    trace_sample =
+and cmd_churnsim clients batch resident seed summary_out metrics_out series_out
+    trace_out trace_sample =
   seed_jit_metrics ~enabled:true;
   let module Churn = Workload.Churn in
   let module Churn_pipeline = Experiments.Churn_pipeline in
   let tracer = make_tracer trace_out trace_sample in
+  (* The pipeline rewires the registry clock to its modeled epoch clock. *)
+  let series = make_series series_out in
   let zcfg =
     { Churn.default_zipf_config with Churn.clients; batch; resident_target = resident }
   in
-  let r = Churn_pipeline.run ~tracer ~params ~seed zcfg in
+  let r = Churn_pipeline.run ~tracer ~series ~params ~seed zcfg in
   (* Deterministic stdout: counts and the modeled virtual clock only — no
      wall-clock numbers — so two same-seed runs print (and with
      --summary-out / --trace-out, dump) byte-identical artifacts for the
@@ -348,11 +382,12 @@ and cmd_churnsim clients batch resident seed summary_out metrics_out trace_out
     close_out oc;
     Printf.printf "wrote churn summary to %s\n" path);
   write_metrics metrics_out;
+  write_series series series_out;
   write_trace tracer trace_out
 
 and cmd_fleetsim switches topo_kind k ft_pods leaves spines policy arrivals
-    batch seed fail_sw pod_fail flap summary_out no_jit metrics_out trace_out
-    trace_sample =
+    batch seed fail_sw pod_fail flap summary_out no_jit metrics_out series_out
+    trace_out trace_sample =
   let module Topology = Activermt_fleet.Topology in
   let module Placement = Activermt_fleet.Placement in
   let module Fleet = Activermt_fleet.Fleet in
@@ -386,7 +421,10 @@ and cmd_fleetsim switches topo_kind k ft_pods leaves spines policy arrivals
     exit 1
   | _ -> ());
   let tracer = make_tracer trace_out trace_sample in
-  let fleet = Fleet.create ~policy ~jit:(not no_jit) ~tracer topo in
+  (* One series bucket per admission epoch (per arrival when --batch 1). *)
+  let vclock = ref 0.0 in
+  let series = make_series ~now:(fun () -> !vclock) series_out in
+  let fleet = Fleet.create ~policy ~jit:(not no_jit) ~series ~tracer topo in
   let events =
     List.concat_map
       (fun (e : Churn.epoch) ->
@@ -426,7 +464,8 @@ and cmd_fleetsim switches topo_kind k ft_pods leaves spines policy arrivals
     List.iteri
       (fun i (fid, kind) ->
         if i = halfway then fail_drill ~after:i;
-        ignore (Fleet.admit fleet ~fid (Experiments.Harness.app_of_kind kind)))
+        ignore (Fleet.admit fleet ~fid (Experiments.Harness.app_of_kind kind));
+        vclock := !vclock +. 1.0)
       events
   else begin
     (* Chunk the arrival stream into epochs of [batch] and push each
@@ -449,6 +488,7 @@ and cmd_fleetsim switches topo_kind k ft_pods leaves spines policy arrivals
               (Experiments.Harness.app_of_kind kind))
           chunk;
         ignore (Fleet.drain_admissions fleet);
+        vclock := !vclock +. 1.0;
         epochs (i + List.length chunk) rest
     in
     epochs 0 events
@@ -620,10 +660,11 @@ and cmd_fleetsim switches topo_kind k ft_pods leaves spines policy arrivals
     Activermt.Jit.flush_stats (Netsim.Fabric.jit (Fleet.fabric fleet ~sw))
   done;
   write_metrics metrics_out;
+  write_series series series_out;
   write_trace tracer trace_out
 
 and cmd_faultsim services words loss dup corrupt jitter slow_ctl ctl_fail seed
-    no_retries no_jit trace metrics_out trace_out trace_sample =
+    no_retries no_jit trace metrics_out series_out trace_out trace_sample =
   let module Chaos = Experiments.Chaos in
   let module Faults = Netsim.Faults in
   let profile =
@@ -657,7 +698,9 @@ and cmd_faultsim services words loss dup corrupt jitter slow_ctl ctl_fail seed
     (if no_jit then "off" else "on")
     loss dup corrupt jitter slow_ctl ctl_fail;
   let tracer = make_tracer trace_out trace_sample in
-  let r = Chaos.run ~tracer cfg in
+  (* Chaos records on the simulation engine's clock (explicit ~t). *)
+  let series = make_series series_out in
+  let r = Chaos.run ~series ~tracer cfg in
   List.iter
     (fun (fid, o) ->
       Printf.printf "  fid %-3d %s\n" fid (Chaos.outcome_to_string o))
@@ -675,6 +718,7 @@ and cmd_faultsim services words loss dup corrupt jitter slow_ctl ctl_fail seed
       (fun e -> Format.printf "%a@." Faults.pp_event e)
       (Faults.events r.Chaos.faults);
   write_metrics metrics_out;
+  write_series series series_out;
   write_trace tracer trace_out
 
 and cmd_tracequery path trace_id fid switch name_filter assert_cross =
@@ -1013,11 +1057,13 @@ let scheme_arg =
     (Arg.opt sconv Allocator.Worst_fit
        (Arg.info [ "scheme" ] ~docv:"wf|ff|bf|realloc"))
 
-let cmd_tenantsim tenants hostile_factor seed summary_out metrics_out =
+let cmd_tenantsim tenants hostile_factor seed summary_out metrics_out series_out =
   seed_jit_metrics ~enabled:true;
   let module Tenants = Experiments.Tenants in
   let cfg = { (Tenants.preset ~tenants ()) with Tenants.hostile_factor; seed } in
-  let r = Tenants.run ~telemetry:Telemetry.default cfg in
+  (* The vswitch records on its modeled clock (explicit ~t). *)
+  let series = make_series series_out in
+  let r = Tenants.run ~telemetry:Telemetry.default ~series cfg in
   (* Deterministic stdout: the whole summary derives from the modeled
      clock and the seeded shuffle (no wall times), so two same-config
      runs print — and with --summary-out, dump — byte-identical
@@ -1072,7 +1118,173 @@ let cmd_tenantsim tenants hostile_factor seed summary_out metrics_out =
     output_char oc '\n';
     close_out oc;
     Printf.printf "wrote tenant summary to %s\n" path);
-  write_metrics metrics_out
+  write_metrics metrics_out;
+  write_series series series_out
+
+(* healthcheck: run the health-plane scenario (mini fleetscale + chaos +
+   tenants feeding one monitor), print the SLO table and incident log,
+   optionally dump the deterministic report / series, and exit non-zero
+   when any watchdog or SLO paged. *)
+let cmd_healthcheck quick inject_flap_storm report_out series_out =
+  let module H = Experiments.Healthcheck in
+  let module Monitor = Experiments.Healthcheck.Monitor in
+  let cfg =
+    {
+      (if quick then H.quick_config else H.default_config) with
+      H.inject_flap_storm;
+    }
+  in
+  let r = H.run ~log:print_endline cfg in
+  List.iter print_endline (H.summary_lines r);
+  (match report_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Json.to_string ~pretty:true r.H.report);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote health report to %s\n" path);
+  (match series_out with
+  | None -> ()
+  | Some path ->
+    let series = Monitor.series r.H.monitor in
+    Timeseries.write_json series ~path;
+    Printf.printf "wrote %d series to %s\n"
+      (List.length (Timeseries.names series))
+      path);
+  if not r.H.healthy then exit 1
+
+(* fleettop: render a static text dashboard from a --series-out dump (or
+   a healthcheck --report-out file, whose "series" member is the same
+   shape).  Rows align on the newest bucket index across all series;
+   sparklines cover the newest --last windows. *)
+let cmd_fleettop path last filter =
+  let text =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let dump =
+    let parsed =
+      match Json.of_string text with
+      | Error e ->
+        Printf.eprintf "error: %s: %s\n" path e;
+        exit 1
+      | Ok j -> (
+        (* A health report embeds the series dump under "series". *)
+        match Json.member "series" j with
+        | Some (Json.Obj _ as s)
+          when Json.member "bucket_s" s <> None ->
+          s
+        | _ -> j)
+    in
+    match Timeseries.dump_of_json parsed with
+    | Ok d -> d
+    | Error e ->
+      Printf.eprintf "error: %s: %s\n" path e;
+      exit 1
+  in
+  let series =
+    match filter with
+    | None -> dump.Timeseries.d_series
+    | Some f ->
+      List.filter
+        (fun (name, _, _) ->
+          let fl = String.length f and nl = String.length name in
+          let rec at i = i + fl <= nl && (String.sub name i fl = f || at (i + 1)) in
+          fl = 0 || at 0)
+        dump.Timeseries.d_series
+  in
+  if series = [] then begin
+    Printf.eprintf "error: no series%s in %s\n"
+      (match filter with Some f -> Printf.sprintf " matching %S" f | None -> "")
+      path;
+    exit 1
+  end;
+  (* Align every row on the registry-wide newest bucket. *)
+  let newest =
+    List.fold_left
+      (fun acc (_, _, ws) ->
+        List.fold_left (fun a (w : Timeseries.window) -> max a w.Timeseries.w_index) acc ws)
+      0 series
+  in
+  let levels = [| " "; "_"; "."; ":"; "-"; "="; "+"; "*"; "#" |] in
+  let spark values =
+    let vmax = Array.fold_left Float.max 0.0 values in
+    if vmax <= 0.0 then String.make (Array.length values) ' '
+    else
+      String.concat ""
+        (Array.to_list
+           (Array.map
+              (fun v ->
+                if v <= 0.0 then levels.(0)
+                else
+                  let l =
+                    1 + int_of_float (v /. vmax *. 7.99)
+                  in
+                  levels.(min 8 l))
+              values))
+  in
+  let row_values ws value_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (w : Timeseries.window) ->
+        Hashtbl.replace tbl w.Timeseries.w_index (value_of w))
+      ws;
+    Array.init last (fun i ->
+        let idx = newest - last + 1 + i in
+        match Hashtbl.find_opt tbl idx with Some v -> v | None -> 0.0)
+  in
+  Printf.printf "fleettop: %s — bucket %gs, capacity %d, %d series, newest bucket %d\n"
+    path dump.Timeseries.d_bucket_s dump.Timeseries.d_capacity
+    (List.length series) newest;
+  Printf.printf "%-34s %-7s %12s %12s  %s\n" "series" "kind" "total" "last"
+    (Printf.sprintf "window[-%d..0]" (last - 1));
+  let total_of ws value_of =
+    List.fold_left (fun a w -> a +. value_of w) 0.0 ws
+  in
+  let render_section title rows =
+    if rows <> [] then begin
+      Printf.printf "-- %s --\n" title;
+      List.iter
+        (fun (name, kind, ws) ->
+          let value_of (w : Timeseries.window) =
+            match kind with
+            | `Counter -> w.Timeseries.w_sum
+            | `Dist -> w.Timeseries.w_max
+          in
+          let values = row_values ws value_of in
+          let lastv = values.(last - 1) in
+          let total =
+            match kind with
+            | `Counter -> total_of ws (fun w -> w.Timeseries.w_sum)
+            | `Dist ->
+              List.fold_left
+                (fun a (w : Timeseries.window) -> Float.max a w.Timeseries.w_max)
+                0.0 ws
+          in
+          Printf.printf "%-34s %-7s %12.6g %12.6g |%s|\n" name
+            (match kind with `Counter -> "counter" | `Dist -> "dist")
+            total lastv (spark values))
+        rows
+    end
+  in
+  let has_prefix p name =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  let is_sw (name, _, _) = has_prefix "fleet.sw." name in
+  let is_fleet (name, _, _) = has_prefix "fleet." name in
+  let is_tenant (name, _, _) = has_prefix "tenant." name in
+  let sw_rows, rest = List.partition is_sw series in
+  let fleet_rows, rest = List.partition is_fleet rest in
+  let tenant_rows, other_rows = List.partition is_tenant rest in
+  render_section "fleet" fleet_rows;
+  render_section "per-switch" sw_rows;
+  render_section "tenants" tenant_rows;
+  render_section "other" other_rows
 
 let asm_cmd =
   Cmd.v (Cmd.info "asm" ~doc:"assemble and analyze an active program")
@@ -1092,6 +1304,17 @@ let metrics_out_arg =
        (Arg.info [ "metrics-out" ] ~docv:"FILE"
           ~doc:"Dump the telemetry registry (counters, gauges, span \
                 histograms) as JSON to $(docv) when the command finishes."))
+
+let series_out_arg =
+  Arg.value
+    (Arg.opt (Arg.some Arg.string) None
+       (Arg.info [ "series-out" ] ~docv:"FILE"
+          ~doc:"Record windowed time series (fixed-capacity rings of \
+                virtual-clock buckets — counts, sums and percentile \
+                sketches per window) and dump them as JSON to $(docv) \
+                when the command finishes.  Buckets come from each sim's \
+                virtual clock, never wall time, so same-seed dumps are \
+                byte-identical; render with $(b,fleettop)."))
 
 let trace_out_arg =
   Arg.value
@@ -1166,7 +1389,7 @@ let allocsim_cmd =
     Term.(
       const cmd_allocsim $ spec $ mixed_arg $ seed_arg $ batch_arg
       $ scheme_arg $ policy_arg $ domains_arg $ no_jit_arg $ metrics_out_arg
-      $ trace_out_arg $ trace_sample_arg)
+      $ series_out_arg $ trace_out_arg $ trace_sample_arg)
 
 let churnsim_cmd =
   let clients_arg =
@@ -1203,7 +1426,8 @@ let churnsim_cmd =
        ~doc:"Zipf client churn through the batched epoch admission pipeline")
     Term.(
       const cmd_churnsim $ clients_arg $ batch_arg $ target_arg $ seed_arg
-      $ summary_out_arg $ metrics_out_arg $ trace_out_arg $ trace_sample_arg)
+      $ summary_out_arg $ metrics_out_arg $ series_out_arg $ trace_out_arg
+      $ trace_sample_arg)
 
 let tenantsim_cmd =
   let tenants_arg =
@@ -1236,7 +1460,7 @@ let tenantsim_cmd =
              preemptive reclamation")
     Term.(
       const cmd_tenantsim $ tenants_arg $ hostile_arg $ seed_arg
-      $ summary_out_arg $ metrics_out_arg)
+      $ summary_out_arg $ metrics_out_arg $ series_out_arg)
 
 let fleetsim_cmd =
   let module Placement = Activermt_fleet.Placement in
@@ -1352,7 +1576,8 @@ let fleetsim_cmd =
       const cmd_fleetsim $ switches_arg $ topo_arg $ k_arg $ pods_arg
       $ leaves_arg $ spines_arg $ policy_arg $ arrivals_arg $ batch_arg
       $ seed_arg $ fail_arg $ pod_fail_arg $ flap_arg $ summary_out_arg
-      $ no_jit_arg $ metrics_out_arg $ trace_out_arg $ trace_sample_arg)
+      $ no_jit_arg $ metrics_out_arg $ series_out_arg $ trace_out_arg
+      $ trace_sample_arg)
 
 let routecheck_cmd =
   Cmd.v
@@ -1421,7 +1646,7 @@ let faultsim_cmd =
       const cmd_faultsim $ services_arg $ words_arg $ loss_arg $ dup_arg
       $ corrupt_arg $ jitter_arg $ slow_ctl_arg $ ctl_fail_arg $ seed_arg
       $ no_retries_arg $ no_jit_arg $ trace_arg $ metrics_out_arg
-      $ trace_out_arg $ trace_sample_arg)
+      $ series_out_arg $ trace_out_arg $ trace_sample_arg)
 
 let tracequery_cmd =
   let path =
@@ -1488,9 +1713,69 @@ let p4gen_cmd =
        ~doc:"emit the ActiveRMT shared runtime as TNA-style P4-16")
     Term.(const cmd_p4gen $ const ())
 
+let healthcheck_cmd =
+  let quick_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "quick" ]
+          ~doc:"Run the smaller CI-sized scenario (1500 fleet services \
+                instead of 5000).")
+  in
+  let storm_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "inject-flap-storm" ]
+          ~doc:"Force a breach: flap the pod-0 uplink 16 times inside one \
+                window so the route-locality storm watchdog pages (the \
+                command then exits non-zero, and the incident links the \
+                offending topology.flap trace ids).")
+  in
+  let report_out_arg =
+    Arg.value
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "report-out" ] ~docv:"FILE"
+            ~doc:"Write the full deterministic health report (config, \
+                  scenario summary, SLO evaluations, incident log, series \
+                  dump) as JSON to $(docv); same-seed runs produce \
+                  byte-identical files."))
+  in
+  Cmd.v
+    (Cmd.info "healthcheck"
+       ~doc:"run the fleet health-plane scenario, evaluate SLO burn rates \
+             and watchdogs, and exit non-zero on a page")
+    Term.(
+      const cmd_healthcheck $ quick_arg $ storm_arg $ report_out_arg
+      $ series_out_arg)
+
+let fleettop_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SERIES.json")
+  in
+  let last_arg =
+    Arg.value
+      (Arg.opt positive_int 48
+         (Arg.info [ "last" ] ~docv:"N"
+            ~doc:"Sparkline width: the newest $(docv) windows, aligned on \
+                  the newest bucket across all series."))
+  in
+  let filter_arg =
+    Arg.value
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "filter" ] ~docv:"SUBSTRING"
+            ~doc:"Show only series whose name contains $(docv)."))
+  in
+  Cmd.v
+    (Cmd.info "fleettop"
+       ~doc:"render a per-switch / per-tenant text dashboard from a \
+             --series-out dump or a healthcheck report")
+    Term.(const cmd_fleettop $ path $ last_arg $ filter_arg)
+
 let () =
   let info = Cmd.info "activermt" ~doc:"ActiveRMT tools (SIGCOMM 2023 reproduction)" in
   exit (Cmd.eval (Cmd.group info
        [ asm_cmd; disasm_cmd; mutants_cmd; allocsim_cmd; churnsim_cmd;
          tenantsim_cmd; fleetsim_cmd; routecheck_cmd; faultsim_cmd;
-         tracequery_cmd; trace_cmd; apps_cmd; p4gen_cmd ]))
+         healthcheck_cmd; fleettop_cmd; tracequery_cmd; trace_cmd; apps_cmd;
+         p4gen_cmd ]))

@@ -81,6 +81,7 @@ val create :
   ?mutant_limit:int ->
   ?domains:int ->
   ?telemetry:Telemetry.t ->
+  ?series:Timeseries.t ->
   ?tracer:Trace.t ->
   Rmt.Params.t ->
   t

@@ -3,4 +3,5 @@
 module Spec = Activermt_compiler.Spec
 module Mutant = Activermt_compiler.Mutant
 module Telemetry = Activermt_telemetry.Telemetry
+module Timeseries = Activermt_telemetry.Timeseries
 module Trace = Activermt_telemetry.Trace

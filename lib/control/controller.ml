@@ -36,6 +36,7 @@ type t = {
   queue : (Activermt.Packet.t * Trace.ctx option) Queue.t;
   mutable epoch_counter : int;
   tel : Telemetry.t;
+  series : Timeseries.t;
   tracer : Trace.t;
   admit_traces : (Activermt.Packet.fid, Trace.ctx) Hashtbl.t;
       (* the control.provision span that admitted each resident FID, so
@@ -44,17 +45,18 @@ type t = {
 
 let create ?scheme ?policy ?(cost = Cost_model.default) ?(mode = `Auto)
     ?(extraction_timeout_s = 1.0) ?(telemetry = Telemetry.default)
-    ?(tracer = Trace.noop) device =
+    ?(series = Timeseries.noop) ?(tracer = Trace.noop) device =
   {
     device;
     tables = Activermt.Table.create device;
     allocator =
-      Allocator.create ?scheme ?policy ~telemetry ~tracer
+      Allocator.create ?scheme ?policy ~telemetry ~series ~tracer
         (Rmt.Device.params device);
     cost;
     mode;
     extraction_timeout_s;
     tel = telemetry;
+    series;
     tracer;
     admit_traces = Hashtbl.create 32;
     snapshots = Hashtbl.create 32;
@@ -276,6 +278,7 @@ let handle_request ?trace t (pkt : Activermt.Packet.t) =
       in
       t.log <- timing :: t.log;
       Telemetry.incr t.tel "control.rejections";
+      Timeseries.add t.series "control.rejections";
       Telemetry.span_end t.tel (* control.provision *);
       Error (`Rejected r)
     | Allocator.Admitted adm ->
@@ -314,6 +317,7 @@ let handle_request ?trace t (pkt : Activermt.Packet.t) =
       in
       Telemetry.span_end t.tel (* control.table_update *);
       Telemetry.incr t.tel "control.provisions";
+      Timeseries.add t.series "control.provisions";
       let stats = Activermt.Table.update_stats t.tables in
       (* In interactive mode the table work happens at commit time, but we
          still charge it to this provisioning event: estimate entries from
@@ -523,6 +527,12 @@ let drain_epoch_auto t slots =
   Telemetry.incr t.tel
     ~by:batch.Allocator.stats.Allocator.batch_rejected
     "control.rejections";
+  Timeseries.add t.series
+    ~by:(float_of_int (List.length admitted_fids))
+    "control.provisions";
+  Timeseries.add t.series
+    ~by:(float_of_int batch.Allocator.stats.Allocator.batch_rejected)
+    "control.rejections";
   (match ectx with
   | None -> ()
   | Some c ->
@@ -606,6 +616,7 @@ let drain_epoch_interactive t slots =
 
 let drain ?(max_batch = 64) t =
   if max_batch <= 0 then invalid_arg "Controller.drain: max_batch must be positive";
+  Timeseries.observe t.series "control.queue_depth" (float_of_int (Queue.length t.queue));
   let epochs = ref [] in
   while not (Queue.is_empty t.queue) do
     let slots = ref [] in

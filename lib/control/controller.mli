@@ -43,6 +43,7 @@ val create :
   ?mode:commit_mode ->
   ?extraction_timeout_s:float ->
   ?telemetry:Telemetry.t ->
+  ?series:Timeseries.t ->
   ?tracer:Trace.t ->
   Rmt.Device.t ->
   t

@@ -77,7 +77,8 @@ let kind_of i =
 
 let expected_word ~fid index = (fid * 1000) + index
 
-let run ?(telemetry = Telemetry.default) ?(tracer = Trace.noop) cfg =
+let run ?(telemetry = Telemetry.default) ?(series = Timeseries.noop)
+    ?(tracer = Trace.noop) cfg =
   if cfg.services <= 0 then invalid_arg "Chaos.run: services must be positive";
   if cfg.words <= 0 then invalid_arg "Chaos.run: words must be positive";
   if cfg.horizon_s <= 0.0 then invalid_arg "Chaos.run: horizon must be positive";
@@ -92,7 +93,7 @@ let run ?(telemetry = Telemetry.default) ?(tracer = Trace.noop) cfg =
              ~slowdown:cfg.profile.Faults.table_update_slowdown)
       else None
     in
-    Controller.create ?cost ~mode:`Auto ~telemetry ~tracer device
+    Controller.create ?cost ~mode:`Auto ~telemetry ~series ~tracer device
   in
   let faults = Faults.create ~seed:cfg.seed ~telemetry cfg.profile in
   let fabric = Fabric.create ~faults ~jit:cfg.jit ~telemetry ~tracer ~engine ~controller () in
@@ -135,12 +136,17 @@ let run ?(telemetry = Telemetry.default) ?(tracer = Trace.noop) cfg =
     fallback_words := !fallback_words + List.length survivors;
     Telemetry.incr telemetry "chaos.fallback_words"
       ~by:(List.length survivors);
-    svc.state <- St_fell_back
+    svc.state <- St_fell_back;
+    Timeseries.add series ~t:(Engine.now engine) "chaos.completed";
+    Timeseries.add series ~t:(Engine.now engine) "chaos.fallbacks"
   in
   let rec pump_sync svc () =
     match (svc.state, svc.driver) with
     | Syncing, Some driver ->
-      if Memsync_driver.is_done driver then svc.state <- St_synced
+      if Memsync_driver.is_done driver then begin
+        svc.state <- St_synced;
+        Timeseries.add series ~t:(Engine.now engine) "chaos.completed"
+      end
       else if
         Memsync_driver.exhausted driver = Memsync_driver.outstanding driver
       then
@@ -240,6 +246,7 @@ let run ?(telemetry = Telemetry.default) ?(tracer = Trace.noop) cfg =
       Engine.schedule engine
         ~delay:(0.05 *. float_of_int (svc.fid - 1))
         (fun () ->
+          Timeseries.add series ~t:(Engine.now engine) "chaos.services";
           Negotiate.start svc.session ~now:(Engine.now engine)
             ~send:(nego_send svc);
           pump_nego svc ()))

@@ -54,6 +54,7 @@ type result = {
 
 val run :
   ?telemetry:Activermt_telemetry.Telemetry.t ->
+  ?series:Activermt_telemetry.Timeseries.t ->
   ?tracer:Activermt_telemetry.Trace.t ->
   config ->
   result

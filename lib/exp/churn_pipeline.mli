@@ -50,6 +50,7 @@ val run :
   ?policy:Mutant.policy ->
   ?cost:Cost_model.t ->
   ?telemetry:Telemetry.t ->
+  ?series:Timeseries.t ->
   ?tracer:Trace.t ->
   ?clock:(unit -> float) ->
   params:Rmt.Params.t ->

@@ -56,6 +56,12 @@ type result = {
   orphans : int;  (** residents left on a down switch — must be 0 *)
 }
 
+val arrivals : n:int -> seed:int -> (int * Workload.Churn.kind) list
+(** The scenario's seeded service mix: mostly light services with
+    1-in-16 heavy hitters, as (fid, kind) ascending fid.  Shared with
+    the health plane's [healthcheck] scenario so both drills admit the
+    same population. *)
+
 val run_scenario : ?log:(string -> unit) -> config -> result
 (** Execute the scenario: batched admission (one placement-cost sample
     per batch), a down+up flap of pod 0's first edge uplink against

@@ -48,6 +48,7 @@ type t = {
   mutable up_sum : float;
   mutable up_count : int;
   tel : Telemetry.t;
+  series : Timeseries.t;
   tracer : Trace.t;
 }
 
@@ -121,7 +122,7 @@ let route t ~from msg =
 let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.default)
     ?wire_latency_s ?(memsync_word_budget = 4096) ?faults
     ?(faults_seed = 0xF1EE7) ?jit ?tenants ?(telemetry = Telemetry.default)
-    ?(tracer = Trace.noop) topo =
+    ?(series = Timeseries.noop) ?(tracer = Trace.noop) topo =
   if memsync_word_budget < 0 then
     invalid_arg "Fleet.create: memsync_word_budget must be non-negative";
   let faults =
@@ -153,7 +154,7 @@ let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.defa
         in
         let controller =
           Controller.create ?scheme ?cost ~mode:`Auto ~telemetry:telemetry
-            ~tracer device
+            ~series ~tracer device
         in
         let fabric =
           Fabric.create ~address:sw ?wire_latency_s ?faults:node_faults
@@ -183,6 +184,7 @@ let create ?(policy = Placement.Least_loaded) ?scheme ?(params = Rmt.Params.defa
       up_sum = 0.0;
       up_count = n;
       tel = telemetry;
+      series;
       tracer;
     }
   in
@@ -322,6 +324,7 @@ let admit t ?client ~fid app =
     match Seq.uncons seq with
     | None ->
       Telemetry.incr t.tel "fleet.rejected";
+      Timeseries.add t.series "fleet.rejected";
       (match root with
       | Some ctx ->
         ignore
@@ -351,7 +354,12 @@ let admit t ?client ~fid app =
         bind_placement t ~fid ~sw;
         Telemetry.incr t.tel "fleet.admitted";
         Telemetry.incr t.tel (sw_counter sw "admitted");
-        if tried > 0 then Telemetry.incr t.tel "fleet.spillover";
+        Timeseries.add t.series "fleet.admitted";
+        Timeseries.add t.series (sw_counter sw "admitted");
+        if tried > 0 then begin
+          Telemetry.incr t.tel "fleet.spillover";
+          Timeseries.add t.series "fleet.spillover"
+        end;
         (match trace with
         | Some ctx ->
           ignore
@@ -434,7 +442,12 @@ let commit_admission t pa ~sw =
   | _ -> ());
   Telemetry.incr t.tel "fleet.admitted";
   Telemetry.incr t.tel (sw_counter sw "admitted");
-  if pa.pa_tried <> [] then Telemetry.incr t.tel "fleet.spillover"
+  Timeseries.add t.series "fleet.admitted";
+  Timeseries.add t.series (sw_counter sw "admitted");
+  if pa.pa_tried <> [] then begin
+    Telemetry.incr t.tel "fleet.spillover";
+    Timeseries.add t.series "fleet.spillover"
+  end
 
 let drain_admissions ?(max_batch = 64) t =
   if max_batch <= 0 then
@@ -444,6 +457,7 @@ let drain_admissions ?(max_batch = 64) t =
     (match result with
     | Error _ -> (
       Telemetry.incr t.tel "fleet.rejected";
+      Timeseries.add t.series "fleet.rejected";
       match t.tenants with
       | Some reg -> Tenant.unbind reg ~fid:pa.pa_fid
       | None -> ())
@@ -761,6 +775,7 @@ let migrate t ~fid ~dst =
       (* The program no longer lives on [src]; drop its compiled closures
          there (the departure's epoch bump already made them stale). *)
       Jit.invalidate (Fabric.jit t.nodes.(src).fabric) ~fid;
+      Timeseries.add t.series "fleet.jit.invalidations";
       unbind_placement t ~fid ~sw:src;
       let outcome oc attrs =
         match root with
@@ -775,6 +790,7 @@ let migrate t ~fid ~dst =
         bind_placement t ~fid ~sw:dst;
         shim_step t ~fid Shim.Extraction_done;
         Telemetry.incr t.tel "fleet.migrated";
+        Timeseries.add t.series "fleet.migrated";
         Telemetry.incr t.tel (sw_counter src "out");
         Telemetry.incr t.tel (sw_counter dst "in");
         outcome "fleet.migrated" [ ("switch", string_of_int dst) ];
@@ -793,6 +809,7 @@ let migrate t ~fid ~dst =
       else begin
         forget t ~fid;
         Telemetry.incr t.tel "fleet.lost";
+            Timeseries.add t.series "fleet.lost";
         outcome "fleet.lost" [];
         Error `Lost
       end
@@ -825,6 +842,7 @@ let fail_switch t ~sw =
     ignore (Topology.isolate t.topo ~sw);
     Telemetry.set_gauge t.tel (sw_counter sw "up") 0.0;
     Telemetry.incr t.tel "fleet.failures";
+    Timeseries.add t.series "fleet.failures";
     let evacuees = residents_of t ~sw in
     let root =
       Trace.start_trace t.tracer
@@ -873,6 +891,7 @@ let fail_switch t ~sw =
           | None ->
             forget t ~fid;
             Telemetry.incr t.tel "fleet.lost";
+            Timeseries.add t.series "fleet.lost";
             (match trace with
             | Some ctx -> ignore (Trace.instant t.tracer ctx "fleet.lost")
             | None -> ());
@@ -884,6 +903,7 @@ let fail_switch t ~sw =
               shim_step t ~fid Shim.Realloc_notified;
               shim_step t ~fid Shim.Extraction_done;
               Telemetry.incr t.tel "fleet.migrated";
+        Timeseries.add t.series "fleet.migrated";
               Telemetry.incr t.tel (sw_counter sw "out");
               Telemetry.incr t.tel (sw_counter dst "in");
               (match trace with

@@ -58,6 +58,9 @@ let hist_merge_into dst src =
   done
 
 let hist_percentile_of h p =
+  (* NaN would sail through both range tests below and silently return
+     the top bucket; reject it instead of guessing. *)
+  if Float.is_nan p then invalid_arg "Telemetry.hist_percentile: NaN percentile";
   if h.h_count = 0 then 0.0
   else if p <= 0.0 then h.h_min
   else if p >= 100.0 then h.h_max

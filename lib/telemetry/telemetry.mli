@@ -72,7 +72,17 @@ val gauge_value : t -> string -> float option
 (** Most recently set value across shards (global write order). *)
 
 val hist_summary : t -> string -> hist_summary option
+(** [None] for an unknown name.  A single-observation histogram reports
+    that observation for every percentile (sketch midpoints clamp to
+    [min, max]); an empty summary reports zeros throughout. *)
+
 val hist_percentile : t -> string -> float -> float
+(** The [p]-th percentile ([0..100]) of a span histogram, from the
+    log-bucketed sketch, clamped to the observed [min, max].  Edge
+    cases are pinned: unknown name or empty histogram yields [0.0];
+    [p <= 0.0] yields the exact observed minimum and [p >= 100.0] the
+    exact maximum.
+    @raise Invalid_argument if [p] is NaN. *)
 
 val counters : t -> (string * int) list
 (** All counters, merged, sorted by name.  Likewise [gauges] and

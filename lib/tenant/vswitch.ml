@@ -74,13 +74,15 @@ type t = {
          defer so reclaimed capacity reaches the entitled *)
   latencies : (int, int * float) Hashtbl.t;  (* fid -> (tenant, latency) *)
   tel : Telemetry.t;
+  series : Timeseries.t;
   tracer : Trace.t;
   mutable epoch : int;
   mutable clock : float;
 }
 
 let create ?(config = default_config) ?(cost = Cost_model.default)
-    ?(telemetry = Telemetry.default) ?(tracer = Trace.noop) ~registry ctrl =
+    ?(telemetry = Telemetry.default) ?(series = Timeseries.noop)
+    ?(tracer = Trace.noop) ~registry ctrl =
   if config.max_batch <= 0 then invalid_arg "Vswitch.create: max_batch <= 0";
   {
     cfg = config;
@@ -95,6 +97,7 @@ let create ?(config = default_config) ?(cost = Cost_model.default)
     waiting_entitled = Hashtbl.create 16;
     latencies = Hashtbl.create 256;
     tel = telemetry;
+    series;
     tracer;
     epoch = 0;
     clock = 0.0;
@@ -300,6 +303,7 @@ let evict_fid t ~tenant:vt ~epoch_evicted ~modeled =
       +. Cost_model.total bd -. bd.Cost_model.allocation_s
       +. (float_of_int (state_words state) *. t.cost.Cost_model.snapshot_word_s);
     Telemetry.incr t.tel "tenant.evictions";
+    Timeseries.add t.series ~t:t.clock "tenant.evictions";
     ignore
       (Trace.start_trace t.tracer "tenant.evict"
          ~attrs:[ ("tenant", string_of_int vt); ("fid", string_of_int vf) ]);
@@ -359,6 +363,7 @@ let reclaim t =
 let deny t ~denied r (reason : denial) =
   settle t ~fid:r.r_fid (Denied reason);
   denied := (r.r_tenant, r.r_fid, reason) :: !denied;
+  Timeseries.add t.series ~t:t.clock "tenant.denied";
   Telemetry.incr t.tel
     (match reason with
     | `Quota -> "tenant.denied.quota"
@@ -375,6 +380,7 @@ let defer_or_deny t ~denied r (reason : denial) =
   else begin
     r.r_defers <- r.r_defers + 1;
     Telemetry.incr t.tel "tenant.deferrals";
+    Timeseries.add t.series ~t:t.clock "tenant.deferrals";
     `Defer
   end
 
@@ -542,7 +548,11 @@ let run_epoch t =
         if not (Hashtbl.mem t.latencies fid) then
           match Hashtbl.find_opt t.reqs fid with
           | Some r ->
-            Hashtbl.replace t.latencies fid (tenant, t.clock -. r.r_submitted_s)
+            let lat = t.clock -. r.r_submitted_s in
+            Hashtbl.replace t.latencies fid (tenant, lat);
+            Timeseries.observe t.series ~t:t.clock "tenant.admit_latency_s" lat;
+            Timeseries.add t.series ~t:t.clock
+              (Printf.sprintf "tenant.%d.granted" tenant)
           | None -> ())
       granted;
     let summary =

@@ -85,6 +85,7 @@ val create :
   ?config:config ->
   ?cost:Cost_model.t ->
   ?telemetry:Telemetry.t ->
+  ?series:Timeseries.t ->
   ?tracer:Trace.t ->
   registry:Tenant.t ->
   Controller.t ->

@@ -105,6 +105,46 @@ let test_hist_out_of_range () =
   check_float "max" 1e12 s.Telemetry.max;
   Alcotest.(check int) "count" 2 s.Telemetry.count
 
+let test_hist_empty_and_unknown () =
+  let t = Telemetry.create () in
+  Alcotest.(check bool) "unknown name" true (Telemetry.hist_summary t "h" = None);
+  check_float "unknown percentile" 0.0 (Telemetry.hist_percentile t "h" 50.0);
+  (* Empty-after-reset histograms report zeros throughout, not NaN/inf
+     left over from the infinity-seeded min/max cells. *)
+  Telemetry.observe t "h" 1.0;
+  Telemetry.reset t;
+  Alcotest.(check bool) "cleared name" true (Telemetry.hist_summary t "h" = None)
+
+let test_hist_single_observation () =
+  (* One observation pins every statistic to that value: the sketch
+     midpoint clamps to the exact observed [min, max] = [v, v]. *)
+  let t = Telemetry.create () in
+  let v = 0.00731 in
+  Telemetry.observe t "h" v;
+  let s = Option.get (Telemetry.hist_summary t "h") in
+  Alcotest.(check int) "count" 1 s.Telemetry.count;
+  check_float "sum" v s.Telemetry.sum;
+  check_float "mean" v s.Telemetry.mean;
+  check_float "min" v s.Telemetry.min;
+  check_float "max" v s.Telemetry.max;
+  check_float "p50" v s.Telemetry.p50;
+  check_float "p90" v s.Telemetry.p90;
+  check_float "p99" v s.Telemetry.p99;
+  check_float "p0" v (Telemetry.hist_percentile t "h" 0.0);
+  check_float "p100" v (Telemetry.hist_percentile t "h" 100.0)
+
+let test_hist_quantile_boundaries () =
+  let t = Telemetry.create () in
+  List.iter (Telemetry.observe t "h") [ 0.125; 0.25; 0.5; 1.0 ];
+  (* p <= 0 and p >= 100 are exact, including values outside [0, 100]. *)
+  check_float "p=-5 is exact min" 0.125 (Telemetry.hist_percentile t "h" (-5.0));
+  check_float "p=0 is exact min" 0.125 (Telemetry.hist_percentile t "h" 0.0);
+  check_float "p=100 is exact max" 1.0 (Telemetry.hist_percentile t "h" 100.0);
+  check_float "p=250 is exact max" 1.0 (Telemetry.hist_percentile t "h" 250.0);
+  Alcotest.check_raises "NaN percentile rejected"
+    (Invalid_argument "Telemetry.hist_percentile: NaN percentile") (fun () ->
+      ignore (Telemetry.hist_percentile t "h" Float.nan))
+
 (* -- Spans ---------------------------------------------------------------- *)
 
 let test_span_nesting () =
@@ -315,6 +355,41 @@ let prop_json_roundtrip =
     (QCheck.make gen_json)
     (fun v -> Json.of_string (Json.to_string v) = Ok v)
 
+(* The parser must classify arbitrary input as Ok or Error without ever
+   raising — series dumps cross process boundaries (healthcheck reports,
+   fleettop input files), so a truncated or corrupt file is an expected
+   input, not an exception path.  Half the cases are raw bytes; the other
+   half mutate a valid print so the fuzz also reaches deep parser states
+   (inside strings, numbers, nesting) instead of failing on byte one. *)
+let prop_json_fuzz_no_crash =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          string_size ~gen:(char_range '\000' '\255') (int_range 0 64);
+          ( int_range 0 1000 >|= fun salt ->
+            let valid =
+              Json.to_string
+                (Json.Obj
+                   [
+                     ("k", Json.Arr [ Json.Num 1.5; Json.Str "x\"y"; Json.Null ]);
+                     ("b", Json.Bool (salt mod 2 = 0));
+                   ])
+            in
+            let b = Bytes.of_string valid in
+            let pos = salt mod Bytes.length b in
+            Bytes.set b pos (Char.chr (salt * 7 mod 256));
+            Bytes.to_string b );
+        ])
+  in
+  QCheck.Test.make ~name:"json parser never raises" ~count:500 (QCheck.make gen)
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "of_string %S raised %s" s
+          (Printexc.to_string e))
+
 (* -- Sharded recording under domains -------------------------------------- *)
 
 (* Integer-valued floats keep every partial sum exact, so the merged
@@ -366,6 +441,12 @@ let () =
           Alcotest.test_case "uniform vs oracle" `Quick test_hist_uniform;
           Alcotest.test_case "extreme percentiles" `Quick test_hist_extremes;
           Alcotest.test_case "out-of-range values" `Quick test_hist_out_of_range;
+          Alcotest.test_case "empty and unknown" `Quick
+            test_hist_empty_and_unknown;
+          Alcotest.test_case "single observation" `Quick
+            test_hist_single_observation;
+          Alcotest.test_case "quantile boundaries" `Quick
+            test_hist_quantile_boundaries;
         ] );
       ( "spans",
         [
@@ -387,6 +468,7 @@ let () =
           Alcotest.test_case "parse" `Quick test_json_parse;
           Alcotest.test_case "errors" `Quick test_json_errors;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_fuzz_no_crash;
         ] );
       ( "sharding",
         [
